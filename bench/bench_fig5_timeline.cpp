@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Figure 5: four tasks executing under SingleT, MultiT&SV and
+ * MultiT&MV (Eager AMM, two processors). Tasks T1 and T2 run on
+ * processor 1 and both create their own version of variable X while
+ * T0 (long) is still speculative on processor 0:
+ *
+ *   - SingleT: processor 1 waits for T1's commit before starting T2;
+ *   - MultiT&SV: T2 starts but stalls when it is about to create the
+ *     second local speculative version of X;
+ *   - MultiT&MV: T2 runs to completion immediately.
+ *
+ * Prints an ASCII timeline of execution (=) and commit (C) intervals,
+ * mirroring the paper's illustration.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "scripted_figure_workloads.hpp"
+#include "tls/engine.hpp"
+
+using namespace tlsim;
+
+namespace {
+
+void
+drawTimeline(const tls::RunResult &res, Cycle scale)
+{
+    for (const tls::TaskTimeline &tl : res.timelines) {
+        std::string lane(78, ' ');
+        auto mark = [&](Cycle from, Cycle to, char c) {
+            std::size_t a = std::min<std::size_t>(from / scale, 77);
+            std::size_t b = std::min<std::size_t>(to / scale, 77);
+            for (std::size_t i = a; i <= b; ++i)
+                lane[i] = c;
+        };
+        mark(tl.execStart, tl.execEnd, '=');
+        mark(tl.commitStart, tl.commitEnd, 'C');
+        std::printf("  T%llu (proc %u) |%s|\n",
+                    (unsigned long long)(tl.id - 1), tl.proc,
+                    lane.c_str());
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Figure 5 — four tasks under SingleT (a), MultiT&SV "
+                "(b) and MultiT&MV (c)\n");
+    std::printf("('=' executing, 'C' committing; T0/T2 on processor "
+                "0, T1/T3 on processor 1)\n");
+
+    tls::Separation seps[] = {tls::Separation::SingleT,
+                              tls::Separation::MultiTSV,
+                              tls::Separation::MultiTMV};
+    const char *labels[] = {"(a) SingleT", "(b) MultiT&SV",
+                            "(c) MultiT&MV"};
+
+    Cycle longest = 0;
+    std::vector<tls::RunResult> results;
+    for (tls::Separation sep : seps) {
+        results.push_back(bench::runFigure5(sep));
+        longest = std::max(longest, results.back().execTime);
+    }
+    Cycle scale = std::max<Cycle>(1, longest / 76);
+
+    for (int i = 0; i < 3; ++i) {
+        std::printf("\n%s  (total %llu cycles)\n", labels[i],
+                    (unsigned long long)results[i].execTime);
+        drawTimeline(results[i], scale);
+    }
+
+    std::printf("\nShape checks:\n");
+    std::printf("  total(MultiT&MV) < total(MultiT&SV) <= "
+                "total(SingleT):  %llu < %llu <= %llu  %s\n",
+                (unsigned long long)results[2].execTime,
+                (unsigned long long)results[1].execTime,
+                (unsigned long long)results[0].execTime,
+                (results[2].execTime < results[1].execTime &&
+                 results[1].execTime <= results[0].execTime)
+                    ? "OK"
+                    : "MISMATCH");
+    std::printf("  MultiT&SV stalls on the second version of X: %s\n",
+                results[1].total.get(CycleKind::VersionStall) > 0
+                    ? "OK"
+                    : "MISMATCH");
+    std::printf("  MultiT&MV never version-stalls: %s\n",
+                results[2].total.get(CycleKind::VersionStall) == 0
+                    ? "OK"
+                    : "MISMATCH");
+    return 0;
+}

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Figure 9: separation of task state under Eager/Lazy AMM on the
+ * 16-node CC-NUMA — {SingleT, MultiT&SV, MultiT&MV} x {Eager, Lazy},
+ * execution time normalized to SingleT Eager, Busy/Stall split, and
+ * speedups over sequential execution.
+ */
+
+#include <cstdio>
+
+#include "sim/study.hpp"
+
+using namespace tlsim;
+
+int
+main()
+{
+    mem::MachineParams machine = mem::MachineParams::numa16();
+    std::vector<tls::SchemeConfig> schemes = {
+        {tls::Separation::SingleT, tls::Merging::EagerAMM, false},
+        {tls::Separation::SingleT, tls::Merging::LazyAMM, false},
+        {tls::Separation::MultiTSV, tls::Merging::EagerAMM, false},
+        {tls::Separation::MultiTSV, tls::Merging::LazyAMM, false},
+        {tls::Separation::MultiTMV, tls::Merging::EagerAMM, false},
+        {tls::Separation::MultiTMV, tls::Merging::LazyAMM, false},
+    };
+
+    std::vector<sim::AppStudy> studies;
+    for (const apps::AppParams &app : apps::appSuite())
+        studies.push_back(sim::runAppStudy(app, schemes, machine, 3));
+
+    std::fputs(sim::renderFigure(
+                   "Figure 9 — task-state separation x eager/lazy AMM "
+                   "(CC-NUMA, 16 processors)",
+                   studies)
+                   .c_str(),
+               stdout);
+
+    // Headline claims of Section 5.1/5.2.
+    sim::FigureAverages avg = sim::figureAverages(studies);
+    std::printf("\nHeadline comparisons (paper: Section 5.1-5.2):\n");
+    std::printf("  MultiT&MV Eager vs SingleT Eager : %4.0f%% faster "
+                "(paper ~32%%)\n",
+                100.0 * (1.0 - avg.normTime[4]));
+    std::printf("  Laziness on SingleT              : %4.0f%% faster "
+                "(paper ~30%% for simpler schemes)\n",
+                100.0 * (1.0 - avg.normTime[1] / avg.normTime[0]));
+    std::printf("  Laziness on MultiT&SV            : %4.0f%% faster\n",
+                100.0 * (1.0 - avg.normTime[3] / avg.normTime[2]));
+    std::printf("  Laziness on MultiT&MV            : %4.0f%% faster "
+                "(paper ~24%%)\n",
+                100.0 * (1.0 - avg.normTime[5] / avg.normTime[4]));
+    return 0;
+}

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Inspection utility: run one (app, scheme, machine) point and dump
+ * everything — cycle breakdown per kind, counters, task statistics.
+ *
+ * Usage: bench_inspect [app] [scheme-index 0..7] [numa|cmp]
+ *   scheme order: ST-E ST-L SV-E SV-L MV-E MV-L MV-FMM MV-FMM.Sw
+ * With no arguments, prints a compact summary for every app under
+ * MultiT&MV Eager on the NUMA machine.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "sim/study.hpp"
+
+using namespace tlsim;
+
+namespace {
+
+void
+dumpRun(const apps::AppParams &app, const tls::SchemeConfig &scheme,
+        const mem::MachineParams &machine)
+{
+    tls::RunResult r = sim::runScheme(app, scheme, machine);
+    tls::RunResult seq = sim::runSequential(app, machine);
+
+    std::printf("=== %s / %s / %s ===\n", app.name.c_str(),
+                scheme.name().c_str(), machine.name.c_str());
+    std::printf("exec %llu cycles, seq %llu, speedup %.2f\n",
+                (unsigned long long)r.execTime,
+                (unsigned long long)seq.execTime,
+                r.execTime ? double(seq.execTime) / double(r.execTime)
+                           : 0.0);
+    std::printf("committed %llu, squash events %llu, tasks squashed "
+                "%llu\n",
+                (unsigned long long)r.committedTasks,
+                (unsigned long long)r.squashEvents,
+                (unsigned long long)r.tasksSquashed);
+    std::printf("avg spec tasks: system %.1f, per-proc %.1f\n",
+                r.avgSpecTasksSystem, r.avgSpecTasksPerProc);
+    std::printf("written/task %.2f KB (priv %.1f%%), C/E %.2f%%\n",
+                r.avgWrittenKb, 100 * r.privFraction,
+                100 * r.commitExecRatio);
+
+    std::printf("machine cycle breakdown (sum over %zu procs):\n",
+                r.perProc.size());
+    for (std::size_t k = 0; k < kNumCycleKinds; ++k) {
+        Cycle c = r.total.get(CycleKind(k));
+        if (c == 0)
+            continue;
+        std::printf("  %-14s %12llu  (%.1f%%)\n",
+                    cycleKindName(CycleKind(k)), (unsigned long long)c,
+                    100.0 * double(c) / double(r.total.total()));
+    }
+    std::printf("counters:\n");
+    for (const auto &[name, value] : r.counters.entries())
+        std::printf("  %-26s %llu\n", name.c_str(),
+                    (unsigned long long)value);
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    auto schemes = tls::SchemeConfig::evaluatedSchemes();
+
+    if (argc == 1) {
+        for (const apps::AppParams &app : apps::appSuite())
+            dumpRun(app, schemes[4], mem::MachineParams::numa16());
+        return 0;
+    }
+
+    std::string app_name = argv[1];
+    int scheme_idx = argc > 2 ? std::atoi(argv[2]) : 4;
+    bool cmp = argc > 3 && std::strcmp(argv[3], "cmp") == 0;
+
+    for (const apps::AppParams &app : apps::appSuite()) {
+        if (app.name == app_name) {
+            dumpRun(app, schemes[std::size_t(scheme_idx) % schemes.size()],
+                    cmp ? mem::MachineParams::cmp8()
+                        : mem::MachineParams::numa16());
+            return 0;
+        }
+    }
+    std::fprintf(stderr, "unknown app '%s'\n", app_name.c_str());
+    return 1;
+}

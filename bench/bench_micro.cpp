@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark) of the simulator's core data
+ * structures: event queue throughput, versioned-cache lookup, version
+ * map visibility queries, violation detection, undo-log append.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/event_queue.hpp"
+#include "common/rng.hpp"
+#include "mem/cache.hpp"
+#include "mem/undo_log.hpp"
+#include "tls/version_map.hpp"
+#include "tls/violation_detector.hpp"
+
+using namespace tlsim;
+
+namespace {
+
+void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    for (auto _ : state) {
+        EventQueue eq;
+        long sink = 0;
+        for (int i = 0; i < state.range(0); ++i)
+            eq.scheduleIn(Cycle(i % 97), [&sink] { ++sink; });
+        eq.run();
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1024)->Arg(16384);
+
+void
+BM_CacheLookup(benchmark::State &state)
+{
+    mem::VersionedCache cache(mem::CacheGeometry::of(512 * 1024, 4),
+                              true);
+    Rng rng(1);
+    for (int i = 0; i < 4096; ++i) {
+        mem::CacheLineState cl;
+        cl.line = rng.below(1 << 20);
+        cl.version = mem::VersionTag{rng.below(64) + 1, 1};
+        cache.insert(cl, Cycle(i));
+    }
+    Rng probe(2);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.findAnyOf(probe.below(1 << 20)));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheLookup);
+
+void
+BM_CacheInsertEvict(benchmark::State &state)
+{
+    mem::VersionedCache cache(mem::CacheGeometry::of(64 * 1024, 4),
+                              true);
+    Rng rng(3);
+    for (auto _ : state) {
+        mem::CacheLineState cl;
+        cl.line = rng.below(1 << 16);
+        cl.version = mem::VersionTag{rng.below(64) + 1, 1};
+        benchmark::DoNotOptimize(cache.insert(cl, 0));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheInsertEvict);
+
+void
+BM_VersionMapLatestVisible(benchmark::State &state)
+{
+    tls::VersionMap map;
+    // A heavily multi-versioned line (the P3m pattern).
+    for (TaskId t = 1; t <= TaskId(state.range(0)); ++t)
+        map.create(7, mem::VersionTag{t, 1}, ProcId(t % 16));
+    Rng rng(4);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            map.latestVisible(7, rng.below(state.range(0)) + 1));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_VersionMapLatestVisible)->Arg(16)->Arg(256);
+
+void
+BM_ViolationCheckWrite(benchmark::State &state)
+{
+    tls::ViolationDetector det;
+    Rng rng(5);
+    for (int i = 0; i < 10000; ++i)
+        det.noteRead(rng.below(4096), rng.below(64) + 1,
+                     rng.below(32));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            det.checkWrite(rng.below(4096), rng.below(64) + 1));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ViolationCheckWrite);
+
+void
+BM_UndoLogAppendRecover(benchmark::State &state)
+{
+    for (auto _ : state) {
+        mem::UndoLog log;
+        for (int i = 0; i < 256; ++i) {
+            mem::UndoLogEntry e;
+            e.line = Addr(i);
+            e.overwriting = 9;
+            log.append(9, e);
+        }
+        benchmark::DoNotOptimize(log.takeForRecovery(9));
+    }
+    state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_UndoLogAppendRecover);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Shared setup for the illustrative figure benchmarks (Figures 5/6):
+ * small scripted scenarios on few-processor machines.
+ */
+
+#ifndef TLSIM_BENCH_SCRIPTED_FIGURE_WORKLOADS_HPP
+#define TLSIM_BENCH_SCRIPTED_FIGURE_WORKLOADS_HPP
+
+#include "tls/engine.hpp"
+#include "tls/scripted_workload.hpp"
+
+namespace tlsim::bench {
+
+/** Variable X of Figure 5 (in the mostly-private region). */
+inline constexpr Addr kVarX = 0x1000'0000;
+
+/**
+ * Figure 5's scenario: two processors, four tasks. T0 is long; T1 and
+ * T2 both create their own version of X.
+ */
+inline tls::RunResult
+runFigure5(tls::Separation sep)
+{
+    using cpu::Op;
+    std::vector<std::vector<Op>> tasks;
+    // T0: long, runs on processor 0.
+    tasks.push_back({Op::compute(60'000), Op::store(0x4000'0000)});
+    // T1: short, writes X.
+    tasks.push_back({Op::compute(2'000), Op::store(kVarX),
+                     Op::compute(8'000)});
+    // T2: short, writes X early (the MultiT&SV stall point).
+    tasks.push_back({Op::compute(2'000), Op::store(kVarX),
+                     Op::compute(8'000)});
+    // T3: short.
+    tasks.push_back({Op::compute(10'000), Op::store(0x4100'0000)});
+
+    tls::ScriptedWorkload wl(std::move(tasks));
+    tls::EngineConfig cfg;
+    cfg.scheme = tls::SchemeConfig::make(sep, tls::Merging::EagerAMM);
+    cfg.machine = mem::MachineParams::numa16();
+    cfg.machine.numProcs = 2;
+    tls::SpeculationEngine engine(cfg, wl);
+    return engine.run();
+}
+
+/**
+ * Figure 6's scenario: a batch of equal tasks with a sizeable written
+ * footprint on a few processors, so the commit wavefront is visible.
+ */
+inline tls::RunResult
+runFigure6(tls::Separation sep, tls::Merging merge, unsigned procs = 3,
+           unsigned n_tasks = 6)
+{
+    using cpu::Op;
+    std::vector<std::vector<Op>> tasks;
+    for (unsigned t = 0; t < n_tasks; ++t) {
+        std::vector<Op> ops;
+        ops.push_back(Op::compute(6'000));
+        for (unsigned w = 0; w < 160; ++w)
+            ops.push_back(Op::store(0x4000'0000 +
+                                    (Addr(t) << 20) + Addr(w) * 8));
+        ops.push_back(Op::compute(6'000));
+        tasks.push_back(std::move(ops));
+    }
+    tls::ScriptedWorkload wl(std::move(tasks));
+    tls::EngineConfig cfg;
+    cfg.scheme = tls::SchemeConfig::make(sep, merge);
+    cfg.machine = mem::MachineParams::numa16();
+    cfg.machine.numProcs = procs;
+    tls::SpeculationEngine engine(cfg, wl);
+    return engine.run();
+}
+
+} // namespace tlsim::bench
+
+#endif // TLSIM_BENCH_SCRIPTED_FIGURE_WORKLOADS_HPP

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Building your own speculative workload against the public API.
+ *
+ * Two ways are shown:
+ *   1. ScriptedWorkload — hand-written op lists per task (here: a
+ *      reduction-like loop with one cross-task dependence).
+ *   2. A custom tls::Workload subclass generating traces on the fly.
+ *
+ * Run: ./build/examples/custom_workload
+ */
+
+#include <cstdio>
+
+#include "tls/engine.hpp"
+#include "tls/scripted_workload.hpp"
+
+using namespace tlsim;
+using cpu::Op;
+
+namespace {
+
+/**
+ * A generated workload: each task walks its own slice of an array and
+ * occasionally reads its left neighbor's last element (a loop-carried
+ * dependence that speculation must detect when it bites).
+ */
+class StencilWorkload : public tls::Workload
+{
+  public:
+    explicit StencilWorkload(TaskId n) : n_(n) {}
+
+    std::string name() const override { return "stencil"; }
+    TaskId numTasks() const override { return n_; }
+
+    std::unique_ptr<cpu::TaskTrace>
+    makeTrace(TaskId task) override
+    {
+        std::vector<Op> ops;
+        Addr slice = 0x4000'0000 + Addr(task) * 1024;
+        // Read the left neighbor's boundary element first...
+        if (task > 1)
+            ops.push_back(Op::load(slice - 8));
+        // ...compute over the slice...
+        for (int i = 0; i < 16; ++i) {
+            ops.push_back(Op::compute(300));
+            ops.push_back(Op::store(slice + Addr(i) * 8));
+        }
+        // ...and publish the boundary element last.
+        ops.push_back(Op::store(slice + 1016));
+        return std::make_unique<cpu::VectorTrace>(std::move(ops));
+    }
+
+  private:
+    TaskId n_;
+};
+
+void
+report(const char *label, const tls::RunResult &res)
+{
+    std::printf("%-22s exec %8llu cycles, %llu squash events, "
+                "busy %2.0f%%\n",
+                label, (unsigned long long)res.execTime,
+                (unsigned long long)res.squashEvents,
+                100.0 * res.busyFraction());
+}
+
+} // namespace
+
+int
+main()
+{
+    mem::MachineParams machine = mem::MachineParams::cmp8();
+    tls::EngineConfig cfg;
+    cfg.machine = machine;
+    cfg.scheme = tls::SchemeConfig::make(tls::Separation::MultiTMV,
+                                         tls::Merging::LazyAMM);
+
+    // --- 1. Scripted: three explicit tasks, one true dependence ---
+    std::printf("1. ScriptedWorkload: task 3 reads what task 1 "
+                "writes late\n");
+    std::vector<std::vector<Op>> tasks = {
+        {Op::compute(5000), Op::store(0x9000'0000)},  // T1 writes late
+        {Op::compute(2000), Op::store(0x9000'1000)},  // T2 independent
+        {Op::load(0x9000'0000), Op::compute(3000)},   // T3 reads early
+    };
+    tls::ScriptedWorkload scripted(std::move(tasks));
+    tls::SpeculationEngine engine1(cfg, scripted);
+    report("scripted", engine1.run());
+
+    // --- 2. Generated: a stencil with boundary dependences ---
+    std::printf("\n2. Custom Workload subclass: 64-task stencil\n");
+    StencilWorkload stencil(64);
+    tls::SpeculationEngine engine2(cfg, stencil);
+    tls::RunResult res = engine2.run();
+    report("stencil (MV/Lazy)", res);
+
+    // Compare against SingleT Eager with three lines of code.
+    cfg.scheme = tls::SchemeConfig::make(tls::Separation::SingleT,
+                                         tls::Merging::EagerAMM);
+    StencilWorkload stencil2(64);
+    tls::SpeculationEngine engine3(cfg, stencil2);
+    report("stencil (ST/Eager)", engine3.run());
+
+    std::printf("\nAll points of the taxonomy are one SchemeConfig "
+                "away; supports required:\n");
+    for (const tls::SchemeConfig &s :
+         tls::SchemeConfig::evaluatedSchemes()) {
+        std::printf("  %-22s %s\n", s.name().c_str(),
+                    s.requiredSupports().toString().c_str());
+    }
+    return 0;
+}

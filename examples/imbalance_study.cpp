@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Load-imbalance study: why buffering multiple speculative tasks per
+ * processor pays off (the P3m effect).
+ *
+ * Sweeps the heavy-tail fraction of task sizes. Under SingleT, a
+ * processor that finished a short task stalls until all longer
+ * predecessors commit; under MultiT it keeps going and buffers the
+ * finished tasks' state.
+ *
+ * Run: ./build/examples/imbalance_study
+ */
+
+#include <cstdio>
+
+#include "sim/study.hpp"
+
+using namespace tlsim;
+
+int
+main()
+{
+    mem::MachineParams machine = mem::MachineParams::numa16();
+    std::vector<tls::SchemeConfig> schemes = {
+        {tls::Separation::SingleT, tls::Merging::EagerAMM, false},
+        {tls::Separation::MultiTMV, tls::Merging::EagerAMM, false},
+    };
+
+    std::printf("Load-imbalance sweep (P3m-like loop, 16-proc "
+                "NUMA)\n");
+    std::printf("%-12s %12s %12s %10s %18s\n", "tail frac",
+                "SingleT", "MultiT&MV", "MV gain",
+                "spec tasks/proc(MV)");
+
+    for (double tail : {0.0, 0.01, 0.02, 0.05, 0.10}) {
+        apps::AppParams app = apps::p3m();
+        app.name = "p3m-sweep";
+        app.numTasks = 200;
+        app.instrPerTask = 20'000;
+        app.tailFraction = tail;
+        sim::AppStudy study =
+            sim::runAppStudy(app, schemes, machine, 2);
+        double single = study.outcomes[0].meanExecTime;
+        double multi = study.outcomes[1].meanExecTime;
+        std::printf("%-12.2f %11.1fk %11.1fk %9.0f%% %18.1f\n", tail,
+                    single / 1000.0, multi / 1000.0,
+                    100.0 * (1.0 - multi / single),
+                    study.outcomes[1].result.avgSpecTasksPerProc);
+    }
+
+    std::printf("\nReading the sweep: the heavier the task-size tail, "
+                "the more speculative tasks a\nMultiT processor "
+                "buffers past stalled giants and the larger its win "
+                "over SingleT\n(Figure 5-(c) vs 5-(a) in the "
+                "paper).\n");
+    return 0;
+}

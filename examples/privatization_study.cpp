@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Privatization study: how the mostly-privatization fraction of the
+ * written footprint determines which task-state separation you need.
+ *
+ * The paper's Apsi motivates this: compiler analysis cannot prove
+ * work() arrays private, so every task creates its own version of the
+ * same variables. MultiT&SV stalls on the second local version;
+ * MultiT&MV keeps one version per task. This example sweeps the
+ * privatization fraction and shows the crossover.
+ *
+ * Run: ./build/examples/privatization_study
+ */
+
+#include <cstdio>
+
+#include "sim/study.hpp"
+
+using namespace tlsim;
+
+int
+main()
+{
+    mem::MachineParams machine = mem::MachineParams::numa16();
+    std::vector<tls::SchemeConfig> schemes = {
+        {tls::Separation::SingleT, tls::Merging::EagerAMM, false},
+        {tls::Separation::MultiTSV, tls::Merging::EagerAMM, false},
+        {tls::Separation::MultiTMV, tls::Merging::EagerAMM, false},
+    };
+
+    std::printf("Privatization sweep (Apsi-like loop, 16-proc NUMA, "
+                "Eager AMM)\n");
+    std::printf("%-10s %12s %12s %12s %16s\n", "priv frac",
+                "SingleT", "MultiT&SV", "MultiT&MV", "SV version "
+                "stalls");
+
+    for (double priv : {0.0, 0.2, 0.4, 0.6, 0.8, 0.99}) {
+        apps::AppParams app = apps::apsi();
+        app.name = "apsi-sweep";
+        app.numTasks = 96;
+        app.tasksPerInvocation = 32;
+        app.privFraction = priv;
+        sim::AppStudy study = sim::runAppStudy(app, schemes, machine);
+        std::printf("%-10.2f %11.1fk %11.1fk %11.1fk %16llu\n", priv,
+                    study.outcomes[0].meanExecTime / 1000.0,
+                    study.outcomes[1].meanExecTime / 1000.0,
+                    study.outcomes[2].meanExecTime / 1000.0,
+                    (unsigned long long)study.outcomes[1]
+                        .result.counters.get("sv_stalls"));
+    }
+
+    std::printf("\nReading the sweep: with no privatization MultiT&SV "
+                "tracks MultiT&MV (no second\nversions to stall on); "
+                "as the fraction grows, MultiT&SV degrades toward "
+                "SingleT\nwhile MultiT&MV is unaffected -- the paper's "
+                "Section 5.1 conclusion.\n");
+    return 0;
+}

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Knobs of the synthetic loop generator. Each of the paper's seven
+ * applications is one parameter set, calibrated to Figure 1-(a) and
+ * Table 3 (see DESIGN.md §3 for the calibration targets and scaling).
+ */
+
+#ifndef TLSIM_APPS_APP_PARAMS_HPP
+#define TLSIM_APPS_APP_PARAMS_HPP
+
+#include <cstdint>
+#include <string>
+
+namespace tlsim::apps {
+
+/** Qualitative classes used in Table 3 reporting. */
+enum class Level { Low, Med, High };
+
+const char *levelName(Level l);
+
+/**
+ * Parameters of one speculatively parallelized loop.
+ */
+struct AppParams {
+    std::string name;
+    std::uint64_t seed = 0x7153'90ab'cdefULL;
+
+    /** Total tasks (chunks of iterations) across all invocations. */
+    unsigned numTasks = 256;
+    /** Tasks per loop invocation; 0 = a single invocation. Barriers
+     *  separate invocations (paper Table 3, "#Tasks per Invoc"). */
+    unsigned tasksPerInvocation = 0;
+
+    /** @name Task size and imbalance */
+    ///@{
+    /** Mean instructions per task. */
+    double instrPerTask = 10'000;
+    /** Lognormal sigma of the task-size factor. */
+    double sizeSigma = 0.2;
+    /** Fraction of tasks drawn from a heavy Pareto tail (P3m). */
+    double tailFraction = 0.0;
+    /** Pareto shape for tail tasks (smaller = heavier). */
+    double tailAlpha = 1.3;
+    /** Pareto scale (minimum size factor of a tail task). */
+    double tailScale = 8.0;
+    ///@}
+
+    /** @name Written footprint */
+    ///@{
+    /** Mean KB written per task (distinct bytes). */
+    double writtenKb = 2.0;
+    /** Fraction of written words in the mostly-private region
+     *  (same addresses in every task). */
+    double privFraction = 0.5;
+    /** Mostly-private writes happen early in the task (Tree, Bdna,
+     *  Apsi; Section 5.1). */
+    bool writeEarly = false;
+    /** When not writeEarly: fraction of the task body that passes
+     *  before the first mostly-private write (P3m overlaps some work
+     *  before MultiT&SV stalls, landing it between SingleT and
+     *  MultiT&MV). */
+    double privStartFrac = 0.0;
+    /** Fraction of written words re-read later in the task (the
+     *  work(k) consume pattern of Figure 1-b). */
+    double rereadFraction = 0.5;
+    ///@}
+
+    /** @name Shared read traffic */
+    ///@{
+    /** KB read per task from the shared read-only region. */
+    double sharedReadKb = 0.5;
+    /** Size of the shared read-only region in KB. */
+    double sharedArrayKb = 2048;
+    ///@}
+
+    /** @name Cross-task dependences (squash generation) */
+    ///@{
+    /** Probability a task reads a word a predecessor writes late. */
+    double depProb = 0.0;
+    /** Distance to the producing predecessor. */
+    unsigned depDistance = 4;
+    ///@}
+
+    /** @name Qualitative classification (Table 3 last columns) */
+    ///@{
+    Level loadImbalance = Level::Low;
+    Level privPattern = Level::Low;
+    Level commitExecClass = Level::Low;
+    ///@}
+
+    /** Paper-reported values, for side-by-side tables. */
+    double paperPctTseq = 0.0;        ///< % of Tseq in the loop
+    double paperInstrPerTaskK = 0.0;  ///< thousands of instructions
+    double paperWrittenKb = 0.0;      ///< Figure 1 footprint
+    double paperPrivPct = 0.0;        ///< Figure 1 Priv %
+    double paperCommitExecNuma = 0.0; ///< Table 3 C/E ratio (%)
+    double paperCommitExecCmp = 0.0;
+};
+
+} // namespace tlsim::apps
+
+#endif // TLSIM_APPS_APP_PARAMS_HPP

@@ -1,0 +1,226 @@
+#include "apps/app_suite.hpp"
+
+namespace tlsim::apps {
+
+const char *
+levelName(Level l)
+{
+    switch (l) {
+      case Level::Low: return "Low";
+      case Level::Med: return "Med";
+      case Level::High: return "High";
+    }
+    return "?";
+}
+
+AppParams
+p3m()
+{
+    AppParams p;
+    p.name = "P3m";
+    p.seed = 0xa001;
+    p.numTasks = 600;
+    p.instrPerTask = 69'100;
+    p.sizeSigma = 0.50;
+    p.tailFraction = 0.02; // a few giant tasks: high imbalance
+    p.tailAlpha = 1.5;
+    p.tailScale = 8.0;
+    p.writtenKb = 1.7;
+    p.privFraction = 0.879;
+    p.writeEarly = false; // privatized writes spread through the task
+    p.privStartFrac = 0.35;
+    p.rereadFraction = 0.4;
+    p.sharedReadKb = 0.4;
+    p.loadImbalance = Level::High;
+    p.privPattern = Level::Med;
+    p.commitExecClass = Level::Low;
+    p.paperPctTseq = 56.5;
+    p.paperInstrPerTaskK = 69.1;
+    p.paperWrittenKb = 1.7;
+    p.paperPrivPct = 87.9;
+    p.paperCommitExecNuma = 0.3;
+    p.paperCommitExecCmp = 0.1;
+    return p;
+}
+
+AppParams
+tree()
+{
+    AppParams p;
+    p.name = "Tree";
+    p.seed = 0xa002;
+    p.numTasks = 256;
+    p.tasksPerInvocation = 64;
+    p.instrPerTask = 45'000;
+    p.sizeSigma = 0.65;
+    p.writtenKb = 0.9;
+    p.privFraction = 0.995;
+    p.writeEarly = true;
+    p.rereadFraction = 0.5;
+    p.sharedReadKb = 0.3;
+    p.loadImbalance = Level::Med;
+    p.privPattern = Level::High;
+    p.commitExecClass = Level::Low;
+    p.paperPctTseq = 92.2;
+    p.paperInstrPerTaskK = 28.7;
+    p.paperWrittenKb = 0.9;
+    p.paperPrivPct = 99.5;
+    p.paperCommitExecNuma = 1.4;
+    p.paperCommitExecCmp = 0.4;
+    return p;
+}
+
+AppParams
+bdna()
+{
+    AppParams p;
+    p.name = "Bdna";
+    p.seed = 0xa003;
+    p.numTasks = 224;
+    p.tasksPerInvocation = 56;
+    p.instrPerTask = 120'000;
+    p.sizeSigma = 0.15;
+    p.writtenKb = 20.0;
+    p.privFraction = 0.994;
+    p.writeEarly = true;
+    p.rereadFraction = 0.5;
+    p.sharedReadKb = 0.8;
+    p.loadImbalance = Level::Low;
+    p.privPattern = Level::High;
+    p.commitExecClass = Level::Med;
+    p.paperPctTseq = 44.2;
+    p.paperInstrPerTaskK = 103.3;
+    p.paperWrittenKb = 23.7;
+    p.paperPrivPct = 99.4;
+    p.paperCommitExecNuma = 6.0;
+    p.paperCommitExecCmp = 3.9;
+    return p;
+}
+
+AppParams
+apsi()
+{
+    AppParams p;
+    p.name = "Apsi";
+    p.seed = 0xa004;
+    p.numTasks = 320;
+    p.tasksPerInvocation = 40;
+    p.instrPerTask = 70'000;
+    p.sizeSigma = 0.10;
+    p.writtenKb = 20.0;
+    p.privFraction = 0.60;
+    p.writeEarly = true;
+    p.rereadFraction = 0.5;
+    p.sharedReadKb = 1.0;
+    p.loadImbalance = Level::Low;
+    p.privPattern = Level::High;
+    p.commitExecClass = Level::High;
+    p.paperPctTseq = 29.3;
+    p.paperInstrPerTaskK = 102.6;
+    p.paperWrittenKb = 20.0;
+    p.paperPrivPct = 60.0;
+    p.paperCommitExecNuma = 11.4;
+    p.paperCommitExecCmp = 6.1;
+    return p;
+}
+
+AppParams
+track()
+{
+    AppParams p;
+    p.name = "Track";
+    p.seed = 0xa005;
+    p.numTasks = 252;
+    p.tasksPerInvocation = 36;
+    p.instrPerTask = 25'000;
+    p.sizeSigma = 0.45;
+    p.writtenKb = 2.3;
+    p.privFraction = 0.006;
+    p.writeEarly = false;
+    p.rereadFraction = 0.3;
+    p.sharedReadKb = 0.6;
+    p.depProb = 0.005;
+    p.depDistance = 4;
+    p.loadImbalance = Level::Med;
+    p.privPattern = Level::Low;
+    p.commitExecClass = Level::High;
+    p.paperPctTseq = 47.9;
+    p.paperInstrPerTaskK = 58.1;
+    p.paperWrittenKb = 2.3;
+    p.paperPrivPct = 0.6;
+    p.paperCommitExecNuma = 8.4;
+    p.paperCommitExecCmp = 5.4;
+    return p;
+}
+
+AppParams
+dsmc3d()
+{
+    AppParams p;
+    p.name = "Dsmc3d";
+    p.seed = 0xa006;
+    p.numTasks = 400;
+    p.tasksPerInvocation = 50;
+    p.instrPerTask = 26'000;
+    p.sizeSigma = 0.15;
+    p.writtenKb = 0.8;
+    p.privFraction = 0.005;
+    p.writeEarly = false;
+    p.rereadFraction = 0.3;
+    p.sharedReadKb = 0.5;
+    p.depProb = 0.004;
+    p.depDistance = 4;
+    p.loadImbalance = Level::Low;
+    p.privPattern = Level::Low;
+    p.commitExecClass = Level::Med;
+    p.paperPctTseq = 51.7;
+    p.paperInstrPerTaskK = 41.2;
+    p.paperWrittenKb = 0.8;
+    p.paperPrivPct = 0.5;
+    p.paperCommitExecNuma = 6.2;
+    p.paperCommitExecCmp = 2.0;
+    return p;
+}
+
+AppParams
+euler()
+{
+    AppParams p;
+    p.name = "Euler";
+    p.seed = 0xa007;
+    p.numTasks = 320;
+    p.tasksPerInvocation = 32;
+    p.instrPerTask = 28'000;
+    p.sizeSigma = 0.15;
+    p.writtenKb = 7.3;
+    p.privFraction = 0.007;
+    p.writeEarly = false;
+    p.rereadFraction = 0.3;
+    p.sharedReadKb = 0.4;
+    p.depProb = 0.018;
+    p.depDistance = 4;
+    p.loadImbalance = Level::Low;
+    p.privPattern = Level::Low;
+    p.commitExecClass = Level::High;
+    p.paperPctTseq = 89.8;
+    p.paperInstrPerTaskK = 22.3;
+    p.paperWrittenKb = 7.3;
+    p.paperPrivPct = 0.7;
+    p.paperCommitExecNuma = 14.5;
+    p.paperCommitExecCmp = 12.6;
+    return p;
+}
+
+std::vector<AppParams>
+appSuite()
+{
+    return {p3m(), tree(), bdna(), apsi(), track(), dsmc3d(), euler()};
+}
+
+std::unique_ptr<LoopWorkload>
+makeWorkload(const AppParams &params)
+{
+    return std::make_unique<LoopWorkload>(params);
+}
+
+} // namespace tlsim::apps

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * The seven-application suite of the paper (Section 4.2), as synthetic
+ * parameter sets for LoopWorkload. DESIGN.md §3/§5 documents the
+ * substitution and the calibration targets.
+ */
+
+#ifndef TLSIM_APPS_APP_SUITE_HPP
+#define TLSIM_APPS_APP_SUITE_HPP
+
+#include <memory>
+#include <vector>
+
+#include "apps/app_params.hpp"
+#include "apps/loop_workload.hpp"
+
+namespace tlsim::apps {
+
+/** P3m (NCSA): high load imbalance, common privatization, low C/E. */
+AppParams p3m();
+/** Tree (Barnes): medium imbalance, dominant privatization, low C/E. */
+AppParams tree();
+/** Bdna (Perfect Club): dominant privatization, medium C/E. */
+AppParams bdna();
+/** Apsi (SPECfp2000): privatization (work arrays), high C/E. */
+AppParams apsi();
+/** Track (Perfect Club): no privatization, high-med C/E, squashes. */
+AppParams track();
+/** Dsmc3d (HPF-2): no privatization, medium C/E, some squashes. */
+AppParams dsmc3d();
+/** Euler (HPF-2): no privatization, high C/E, frequent squashes. */
+AppParams euler();
+
+/** The whole suite in the paper's column order. */
+std::vector<AppParams> appSuite();
+
+/** Convenience: construct the workload for a parameter set. */
+std::unique_ptr<LoopWorkload> makeWorkload(const AppParams &params);
+
+} // namespace tlsim::apps
+
+#endif // TLSIM_APPS_APP_SUITE_HPP

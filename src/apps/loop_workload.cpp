@@ -1,0 +1,228 @@
+#include "apps/loop_workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hpp"
+#include "mem/geometry.hpp"
+
+namespace tlsim::apps {
+
+using cpu::Op;
+
+namespace {
+
+/** Per-task private slice stride: 4 MB keeps giant tasks collision-free. */
+constexpr Addr kPrivateSlotShift = 22;
+
+/** Rotation slots for the mostly-private region of non-priv apps. */
+constexpr unsigned kPrivRotation = 37;
+
+} // namespace
+
+LoopWorkload::LoopWorkload(AppParams params) : params_(std::move(params))
+{
+    double words = params_.writtenKb * 1024.0 / mem::kWordBytes;
+    privWords_ = unsigned(std::lround(words * params_.privFraction));
+    privateWordsBase_ =
+        unsigned(std::lround(words * (1.0 - params_.privFraction)));
+    if (params_.privFraction > 0 && privWords_ == 0)
+        privWords_ = 1;
+}
+
+double
+LoopWorkload::sizeFactor(TaskId task) const
+{
+    Rng rng = Rng::fork(params_.seed ^ 0x5151'5151ULL, task);
+    if (params_.tailFraction > 0 && rng.chance(params_.tailFraction))
+        return rng.pareto(params_.tailScale, params_.tailAlpha);
+    return rng.lognormalWithMean(1.0, params_.sizeSigma);
+}
+
+bool
+LoopWorkload::isDepConsumer(TaskId task) const
+{
+    if (params_.depProb <= 0)
+        return false;
+    if (task <= params_.depDistance)
+        return false; // the producer must exist
+    Rng rng = Rng::fork(params_.seed ^ 0x9e37'79b9ULL, task);
+    return rng.chance(params_.depProb);
+}
+
+bool
+LoopWorkload::isPrivAddr(Addr addr) const
+{
+    Addr size = Addr(privWords_) * mem::kWordBytes;
+    if (params_.privFraction < 0.05) {
+        size = ((size + mem::kLineBytes - 1) / mem::kLineBytes) *
+               mem::kLineBytes * kPrivRotation;
+    }
+    return addr >= kPrivBase && addr < kPrivBase + size;
+}
+
+void
+LoopWorkload::buildMemOps(TaskId task, Rng &rng, double factor,
+                          std::vector<Op> &mem_ops) const
+{
+    // --- write sets ---
+    // Mostly-private region: fully shared addresses for priv apps;
+    // rotated slots for apps where the pattern is rare, so consecutive
+    // tasks seldom collide.
+    Addr priv_base = kPrivBase;
+    if (params_.privFraction < 0.05 && privWords_ > 0) {
+        // Rotation slots are line-aligned so that consecutive tasks
+        // never share a speculative line (otherwise tiny priv regions
+        // would manufacture MultiT&SV stalls the app does not have).
+        Addr slot_bytes =
+            ((Addr(privWords_) * mem::kWordBytes + mem::kLineBytes - 1) /
+             mem::kLineBytes) *
+            mem::kLineBytes;
+        priv_base += Addr(task % kPrivRotation) * slot_bytes;
+    }
+    unsigned n_priv = privWords_;
+    unsigned n_private =
+        unsigned(std::lround(double(privateWordsBase_) * factor));
+    Addr private_base = kPrivateBase + (Addr(task) << kPrivateSlotShift);
+    unsigned slot_words = (1u << kPrivateSlotShift) / mem::kWordBytes;
+
+    std::vector<Op> priv_writes;
+    priv_writes.reserve(n_priv);
+    for (unsigned i = 0; i < n_priv; ++i)
+        priv_writes.push_back(
+            Op::store(priv_base + Addr(i) * mem::kWordBytes));
+
+    std::vector<Op> private_writes;
+    private_writes.reserve(n_private);
+    for (unsigned i = 0; i < n_private; ++i) {
+        private_writes.push_back(Op::store(
+            private_base + Addr(i % slot_words) * mem::kWordBytes));
+    }
+
+    // --- shared read-only streaming ---
+    unsigned shared_words = unsigned(std::lround(
+        params_.sharedReadKb * 1024.0 / mem::kWordBytes * factor));
+    std::vector<Op> shared_reads;
+    shared_reads.reserve(shared_words);
+    Addr shared_size_words =
+        Addr(params_.sharedArrayKb * 1024.0 / mem::kWordBytes);
+    unsigned run = 0;
+    Addr cursor = 0;
+    for (unsigned i = 0; i < shared_words; ++i) {
+        if (run == 0) {
+            cursor = rng.below(shared_size_words);
+            run = 16;
+        }
+        shared_reads.push_back(Op::load(
+            kSharedBase + (cursor % shared_size_words) * mem::kWordBytes));
+        ++cursor;
+        --run;
+    }
+
+    // --- assemble in program order ---
+    if (isDepConsumer(task)) {
+        mem_ops.push_back(
+            Op::load(kDepBase + Addr(task % kDepWords) * mem::kWordBytes));
+    }
+
+    auto interleave = [&](std::vector<Op> &a, std::vector<Op> &b) {
+        std::vector<Op> out;
+        out.reserve(a.size() + b.size());
+        std::size_t ia = 0, ib = 0;
+        double ratio =
+            b.empty() ? 0.0 : double(a.size()) / double(b.size());
+        double acc = 0;
+        while (ia < a.size() || ib < b.size()) {
+            acc += ratio;
+            while (ia < a.size() && acc >= 1.0) {
+                out.push_back(a[ia++]);
+                acc -= 1.0;
+            }
+            if (ib < b.size())
+                out.push_back(b[ib++]);
+            else if (ia < a.size())
+                out.push_back(a[ia++]);
+        }
+        return out;
+    };
+
+    std::vector<Op> middle = interleave(private_writes, shared_reads);
+    if (params_.writeEarly) {
+        mem_ops.insert(mem_ops.end(), priv_writes.begin(),
+                       priv_writes.end());
+        mem_ops.insert(mem_ops.end(), middle.begin(), middle.end());
+    } else {
+        // Defer the first mostly-private write past privStartFrac of
+        // the task body, then spread the rest through it.
+        std::size_t head =
+            std::size_t(params_.privStartFrac * double(middle.size()));
+        head = std::min(head, middle.size());
+        std::vector<Op> tail(middle.begin() + head, middle.end());
+        std::vector<Op> mixed = interleave(priv_writes, tail);
+        mem_ops.insert(mem_ops.end(), middle.begin(),
+                       middle.begin() + head);
+        mem_ops.insert(mem_ops.end(), mixed.begin(), mixed.end());
+    }
+
+    // --- re-reads of own written data (the work(k) consume phase) ---
+    unsigned n_reread = unsigned(std::lround(
+        params_.rereadFraction * double(n_priv + n_private)));
+    for (unsigned i = 0; i < n_reread; ++i) {
+        bool from_priv =
+            n_priv > 0 &&
+            rng.below(n_priv + n_private) < n_priv;
+        if (from_priv) {
+            mem_ops.push_back(Op::load(
+                priv_base + rng.below(n_priv) * mem::kWordBytes));
+        } else if (n_private > 0) {
+            mem_ops.push_back(Op::load(
+                private_base +
+                Addr(rng.below(n_private) % slot_words) *
+                    mem::kWordBytes));
+        }
+    }
+
+    // --- late store feeding a later consumer (violation generator) ---
+    TaskId consumer = task + params_.depDistance;
+    if (consumer <= params_.numTasks && isDepConsumer(consumer)) {
+        mem_ops.push_back(Op::store(
+            kDepBase + Addr(consumer % kDepWords) * mem::kWordBytes));
+    }
+}
+
+std::unique_ptr<cpu::TaskTrace>
+LoopWorkload::makeTrace(TaskId task)
+{
+    if (task == 0 || task > params_.numTasks)
+        panic("LoopWorkload::makeTrace: bad task id");
+
+    Rng rng = Rng::fork(params_.seed, task);
+    double factor = sizeFactor(task);
+
+    std::vector<Op> mem_ops;
+    buildMemOps(task, rng, factor, mem_ops);
+
+    std::uint64_t total_instrs = std::max<std::uint64_t>(
+        200, std::uint64_t(params_.instrPerTask * factor));
+
+    // Spread the instruction budget across the memory ops.
+    std::vector<Op> ops;
+    ops.reserve(2 * mem_ops.size() + 2);
+    std::size_t gaps = mem_ops.size() + 1;
+    std::uint64_t base_gap = total_instrs / gaps;
+    std::uint64_t remainder = total_instrs % gaps;
+    for (std::size_t i = 0; i < mem_ops.size(); ++i) {
+        std::uint64_t instr = base_gap + (i < remainder ? 1 : 0);
+        if (instr > 0)
+            ops.push_back(Op::compute(std::uint32_t(
+                std::min<std::uint64_t>(instr, 0xffff'ffffULL))));
+        ops.push_back(mem_ops[i]);
+    }
+    if (base_gap > 0)
+        ops.push_back(Op::compute(std::uint32_t(
+            std::min<std::uint64_t>(base_gap, 0xffff'ffffULL))));
+
+    return std::make_unique<cpu::VectorTrace>(std::move(ops));
+}
+
+} // namespace tlsim::apps

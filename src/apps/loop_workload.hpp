@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Parameterized synthetic speculative loop.
+ *
+ * Address-space layout (per workload instance):
+ *   - mostly-private region: the same word addresses written by every
+ *     task (the paper's work() arrays that defeat privatization);
+ *   - per-task private slices: distinct addresses per task;
+ *   - shared read-only region: streamed reads;
+ *   - dependence words: cross-task RAW pairs that generate squashes.
+ *
+ * Trace generation is a pure function of (seed, task id), so squashed
+ * tasks replay identically.
+ */
+
+#ifndef TLSIM_APPS_LOOP_WORKLOAD_HPP
+#define TLSIM_APPS_LOOP_WORKLOAD_HPP
+
+#include <vector>
+
+#include "apps/app_params.hpp"
+#include "common/rng.hpp"
+#include "tls/workload.hpp"
+
+namespace tlsim::apps {
+
+/**
+ * The generic loop model: every app in the suite is one of these with
+ * a different AppParams.
+ */
+class LoopWorkload : public tls::Workload
+{
+  public:
+    explicit LoopWorkload(AppParams params);
+
+    std::string name() const override { return params_.name; }
+    TaskId numTasks() const override { return params_.numTasks; }
+    TaskId
+    tasksPerInvocation() const override
+    {
+        return params_.tasksPerInvocation == 0
+                   ? params_.numTasks
+                   : params_.tasksPerInvocation;
+    }
+    std::unique_ptr<cpu::TaskTrace> makeTrace(TaskId task) override;
+    bool isPrivAddr(Addr addr) const override;
+
+    const AppParams &params() const { return params_; }
+
+    /** Deterministic task-size factor (imbalance model). */
+    double sizeFactor(TaskId task) const;
+
+    /** Deterministic: does @p task read a predecessor's late write? */
+    bool isDepConsumer(TaskId task) const;
+
+    /** Region base addresses (tests peek at these). */
+    ///@{
+    static constexpr Addr kPrivBase = 0x1000'0000;
+    static constexpr Addr kPrivateBase = 0x2000'0000;
+    static constexpr Addr kSharedBase = 0x4000'0000;
+    static constexpr Addr kDepBase = 0x7000'0000;
+    static constexpr unsigned kDepWords = 4096;
+    ///@}
+
+    /** Words in the mostly-private region (fixed array size). */
+    unsigned privWords() const { return privWords_; }
+
+  private:
+    AppParams params_;
+    unsigned privWords_;
+    unsigned privateWordsBase_;
+
+    void buildMemOps(TaskId task, Rng &rng, double factor,
+                     std::vector<cpu::Op> &mem_ops) const;
+};
+
+} // namespace tlsim::apps
+
+#endif // TLSIM_APPS_LOOP_WORKLOAD_HPP

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * The kernel is a deterministic min-heap of (when, sequence) ordered
+ * events. Ties at the same cycle fire in scheduling order, which keeps
+ * every simulation bit-reproducible for a given seed.
+ */
+
+#ifndef TLSIM_COMMON_EVENT_QUEUE_HPP
+#define TLSIM_COMMON_EVENT_QUEUE_HPP
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace tlsim {
+
+/** Handle used to cancel a scheduled event. */
+using EventId = std::uint64_t;
+
+/**
+ * Deterministic discrete-event queue.
+ *
+ * Events are arbitrary callbacks. Cancellation is lazy: a cancelled
+ * event stays in the heap but is skipped when popped.
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+
+    /** Current simulated time. */
+    Cycle now() const { return now_; }
+
+    /**
+     * Schedule @p fn to run at absolute cycle @p when.
+     *
+     * @pre when >= now()
+     * @return a handle that can be passed to cancel().
+     */
+    EventId schedule(Cycle when, std::function<void()> fn);
+
+    /** Schedule @p fn to run @p delta cycles from now. */
+    EventId
+    scheduleIn(Cycle delta, std::function<void()> fn)
+    {
+        return schedule(now_ + delta, std::move(fn));
+    }
+
+    /** Cancel a previously scheduled event. Safe to call twice. */
+    void cancel(EventId id);
+
+    /** True if no live (non-cancelled) events remain. */
+    bool empty() const { return liveEvents_ == 0; }
+
+    /** Number of live events. */
+    std::size_t size() const { return liveEvents_; }
+
+    /**
+     * Run events until the queue drains or @p maxCycle is passed.
+     *
+     * @return the final simulated time.
+     */
+    Cycle run(Cycle maxCycle = kCycleNever);
+
+    /** Pop and execute exactly one event. @return false if empty. */
+    bool step();
+
+    /** Total number of events executed since construction. */
+    std::uint64_t executedEvents() const { return executed_; }
+
+  private:
+    struct Entry {
+        Cycle when;
+        EventId id;
+        std::function<void()> fn;
+    };
+
+    struct Later {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.id > b.id;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    std::unordered_set<EventId> cancelled_;
+    Cycle now_ = 0;
+    EventId nextId_ = 1;
+    std::size_t liveEvents_ = 0;
+    std::uint64_t executed_ = 0;
+};
+
+} // namespace tlsim
+
+#endif // TLSIM_COMMON_EVENT_QUEUE_HPP

@@ -1,0 +1,33 @@
+#include "common/log.hpp"
+
+namespace tlsim {
+
+void
+fatal(const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    std::exit(1);
+}
+
+void
+panic(const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    std::abort();
+}
+
+void
+warn(const std::string &msg)
+{
+    if (Log::enabled(LogLevel::Warn))
+        std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+inform(const std::string &msg)
+{
+    if (Log::enabled(LogLevel::Info))
+        std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+} // namespace tlsim

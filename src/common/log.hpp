@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Minimal leveled logging for the simulator.
+ *
+ * Follows the gem5 split between conditions that are the user's fault
+ * (fatal) and conditions that are a simulator bug (panic).
+ */
+
+#ifndef TLSIM_COMMON_LOG_HPP
+#define TLSIM_COMMON_LOG_HPP
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace tlsim {
+
+/** Verbosity levels, in increasing verbosity order. */
+enum class LogLevel { Quiet = 0, Warn = 1, Info = 2, Debug = 3 };
+
+/**
+ * Process-wide log configuration.
+ *
+ * Simulations are single-threaded; no synchronization is needed.
+ */
+class Log
+{
+  public:
+    static LogLevel level() { return level_; }
+    static void setLevel(LogLevel lvl) { level_ = lvl; }
+
+    /** True if messages at @p lvl would currently be emitted. */
+    static bool enabled(LogLevel lvl) { return lvl <= level_; }
+
+  private:
+    static inline LogLevel level_ = LogLevel::Warn;
+};
+
+/**
+ * Terminate with an error that is the *user's* fault (bad configuration,
+ * impossible parameter combination). Exits with status 1.
+ */
+[[noreturn]] void fatal(const std::string &msg);
+
+/**
+ * Terminate because of an internal simulator bug (broken invariant).
+ * Aborts so that a debugger/core dump can capture the state.
+ */
+[[noreturn]] void panic(const std::string &msg);
+
+/** Emit a warning (something works, but maybe not as the user expects). */
+void warn(const std::string &msg);
+
+/** Emit an informational message at Info verbosity. */
+void inform(const std::string &msg);
+
+} // namespace tlsim
+
+#endif // TLSIM_COMMON_LOG_HPP

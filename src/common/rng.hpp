@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload synthesis.
+ *
+ * We implement xoshiro256** (Blackman & Vigna) rather than relying on
+ * std::mt19937 so that streams are cheap to fork per task: every task in
+ * a workload derives its own generator from (seed, task index), which
+ * makes the generated access stream independent of the order in which
+ * the simulator replays or re-executes tasks (important for squash and
+ * re-execution determinism).
+ */
+
+#ifndef TLSIM_COMMON_RNG_HPP
+#define TLSIM_COMMON_RNG_HPP
+
+#include <cmath>
+#include <cstdint>
+
+namespace tlsim {
+
+/** SplitMix64 step, used for seeding xoshiro state. */
+inline std::uint64_t
+splitmix64(std::uint64_t &state)
+{
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/**
+ * xoshiro256** generator with convenience distributions.
+ *
+ * All distributions are implemented via inverse/transform sampling on
+ * the raw 64-bit output, so results are reproducible across platforms.
+ */
+class Rng
+{
+  public:
+    /** Construct from a single seed; forks well for nearby seeds. */
+    explicit Rng(std::uint64_t seed = 0x1234abcdULL)
+    {
+        std::uint64_t sm = seed;
+        for (auto &word : state_)
+            word = splitmix64(sm);
+    }
+
+    /** Derive an independent stream for a substream index. */
+    static Rng
+    fork(std::uint64_t seed, std::uint64_t stream)
+    {
+        // Mix the stream index through splitmix so adjacent streams
+        // land far apart in the state space.
+        std::uint64_t sm = seed;
+        std::uint64_t base = splitmix64(sm) ^ (stream * 0x9e3779b97f4a7c15ULL);
+        return Rng(base ^ splitmix64(base));
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return (next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform integer in [0, n). @pre n > 0. */
+    std::uint64_t
+    below(std::uint64_t n)
+    {
+        // Multiply-shift rejection-free mapping; bias is negligible for
+        // the n values used here (workload parameters << 2^32).
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(next()) * n) >> 64);
+    }
+
+    /** Uniform integer in [lo, hi]. @pre lo <= hi. */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        return lo + below(hi - lo + 1);
+    }
+
+    /** True with probability p. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+    /** Standard normal via Box-Muller (deterministic transform). */
+    double
+    normal()
+    {
+        // Avoid log(0).
+        double u1 = 1.0 - uniform();
+        double u2 = uniform();
+        return std::sqrt(-2.0 * std::log(u1)) *
+               std::cos(2.0 * 3.14159265358979323846 * u2);
+    }
+
+    /**
+     * Lognormal sample with the given mean and sigma of the underlying
+     * normal expressed so that the *mean of the lognormal* equals
+     * @p mean (useful for task-size distributions with controlled
+     * imbalance).
+     */
+    double
+    lognormalWithMean(double mean, double sigma)
+    {
+        double mu = std::log(mean) - 0.5 * sigma * sigma;
+        return std::exp(mu + sigma * normal());
+    }
+
+    /** Pareto sample with scale xm and shape alpha (heavy tails). */
+    double
+    pareto(double xm, double alpha)
+    {
+        double u = 1.0 - uniform();
+        return xm / std::pow(u, 1.0 / alpha);
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4];
+};
+
+} // namespace tlsim
+
+#endif // TLSIM_COMMON_RNG_HPP

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Statistics primitives: counters, histograms and the per-processor
+ * cycle breakdown used to render the paper's Busy/Stall bars.
+ */
+
+#ifndef TLSIM_COMMON_STATS_HPP
+#define TLSIM_COMMON_STATS_HPP
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace tlsim {
+
+/**
+ * Where a processor's cycles went.
+ *
+ * The paper reports two buckets (Busy and Stall); we keep finer-grained
+ * categories and fold them down when rendering figures. Categories are
+ * mutually exclusive: every simulated processor cycle lands in exactly
+ * one.
+ */
+enum class CycleKind : std::uint8_t {
+    /** Instruction execution and non-memory pipeline hazards. */
+    Busy,
+    /** Extra instructions for software MHB logging (FMM.Sw). */
+    LogOverhead,
+    /** Waiting for loads/stores beyond what the core can overlap. */
+    MemStall,
+    /** Processor-driven eager commit work (SingleT Eager). */
+    CommitWork,
+    /** Finished a speculative task, waiting for the commit token. */
+    TokenStall,
+    /** MultiT&SV stall: second local speculative version requested. */
+    VersionStall,
+    /** AMM stall: speculative buffer full and overflow unavailable. */
+    OverflowStall,
+    /** Recovery handler work after a squash (FMM log replay etc). */
+    RecoveryWork,
+    /** Dynamic task dispatch overhead. */
+    DispatchOverhead,
+    /** End of speculative section: out of tasks / final merge wait. */
+    EndStall,
+    NumKinds
+};
+
+/** Human-readable short name for a cycle kind. */
+const char *cycleKindName(CycleKind kind);
+
+/** Number of cycle kinds as a size_t, for array sizing. */
+inline constexpr std::size_t kNumCycleKinds =
+    static_cast<std::size_t>(CycleKind::NumKinds);
+
+/**
+ * Per-processor cycle accounting.
+ *
+ * The invariant checked by tests: the sum over all kinds equals the
+ * processor's total elapsed cycles inside the speculative section.
+ */
+class CycleBreakdown
+{
+  public:
+    CycleBreakdown() { bins_.fill(0); }
+
+    void
+    add(CycleKind kind, Cycle cycles)
+    {
+        bins_[static_cast<std::size_t>(kind)] += cycles;
+    }
+
+    Cycle
+    get(CycleKind kind) const
+    {
+        return bins_[static_cast<std::size_t>(kind)];
+    }
+
+    /** Sum over every category. */
+    Cycle total() const;
+
+    /** Paper's "Busy" bucket: Busy + LogOverhead. */
+    Cycle busy() const;
+
+    /** Paper's "Stall" bucket: everything that is not Busy. */
+    Cycle stall() const { return total() - busy(); }
+
+    /** Accumulate another breakdown into this one. */
+    CycleBreakdown &operator+=(const CycleBreakdown &other);
+
+    /** Render as "kind=value" pairs, skipping zero bins. */
+    std::string toString() const;
+
+  private:
+    std::array<Cycle, kNumCycleKinds> bins_;
+};
+
+/**
+ * Fixed-width-bucket histogram with running mean/min/max.
+ */
+class Histogram
+{
+  public:
+    /** @param bucket_width width of each bucket; 0 disables bucketing. */
+    explicit Histogram(std::uint64_t bucket_width = 0)
+        : bucketWidth_(bucket_width)
+    {}
+
+    void record(std::uint64_t value);
+
+    std::uint64_t count() const { return count_; }
+    std::uint64_t min() const { return count_ ? min_ : 0; }
+    std::uint64_t max() const { return max_; }
+    double mean() const { return count_ ? double(sum_) / count_ : 0.0; }
+    std::uint64_t sum() const { return sum_; }
+
+    /** Value below which the given fraction of samples fall. */
+    std::uint64_t percentile(double fraction) const;
+
+    const std::vector<std::uint64_t> &buckets() const { return buckets_; }
+    std::uint64_t bucketWidth() const { return bucketWidth_; }
+
+  private:
+    std::uint64_t bucketWidth_;
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t count_ = 0;
+    std::uint64_t sum_ = 0;
+    std::uint64_t min_ = std::numeric_limits<std::uint64_t>::max();
+    std::uint64_t max_ = 0;
+};
+
+/**
+ * A flat set of named event counters (cache hits, squashes, ...).
+ *
+ * Deliberately simple: benchmark and test code reads counters by name.
+ */
+class CounterSet
+{
+  public:
+    void
+    inc(const std::string &name, std::uint64_t delta = 1)
+    {
+        find(name) += delta;
+    }
+
+    std::uint64_t get(const std::string &name) const;
+
+    /** All (name, value) pairs in insertion order. */
+    const std::vector<std::pair<std::string, std::uint64_t>> &
+    entries() const
+    {
+        return entries_;
+    }
+
+    void merge(const CounterSet &other);
+
+  private:
+    std::uint64_t &find(const std::string &name);
+
+    std::vector<std::pair<std::string, std::uint64_t>> entries_;
+};
+
+} // namespace tlsim
+
+#endif // TLSIM_COMMON_STATS_HPP

@@ -1,0 +1,73 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/log.hpp"
+
+namespace tlsim {
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    if (row.size() != header_.size())
+        panic("TextTable: row arity mismatch");
+    rows_.push_back(std::move(row));
+}
+
+void
+TextTable::addSeparator()
+{
+    separators_.push_back(rows_.size());
+}
+
+std::string
+TextTable::fmt(double value, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+    return buf;
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<std::size_t> widths(header_.size(), 0);
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        widths[c] = header_[c].size();
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto emit_row = [&](std::ostringstream &oss,
+                        const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c)
+                oss << "  ";
+            oss << row[c];
+            if (c + 1 < row.size())
+                oss << std::string(widths[c] - row[c].size(), ' ');
+        }
+        oss << "\n";
+    };
+
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        total += widths[c] + (c ? 2 : 0);
+
+    std::ostringstream oss;
+    emit_row(oss, header_);
+    oss << std::string(total, '-') << "\n";
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+        if (std::find(separators_.begin(), separators_.end(), r) !=
+            separators_.end()) {
+            oss << std::string(total, '-') << "\n";
+        }
+        emit_row(oss, rows_[r]);
+    }
+    return oss.str();
+}
+
+} // namespace tlsim

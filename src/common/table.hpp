@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Plain-text table rendering for benchmark/report output.
+ */
+
+#ifndef TLSIM_COMMON_TABLE_HPP
+#define TLSIM_COMMON_TABLE_HPP
+
+#include <string>
+#include <vector>
+
+namespace tlsim {
+
+/**
+ * A simple column-aligned text table.
+ *
+ * Usage: set a header row, append data rows (already formatted as
+ * strings), then render(). Numeric cells should be pre-formatted with
+ * the desired precision by the caller.
+ */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> header)
+        : header_(std::move(header))
+    {}
+
+    /** Append a data row; must have the same arity as the header. */
+    void addRow(std::vector<std::string> row);
+
+    /** Insert a horizontal separator line before the next row. */
+    void addSeparator();
+
+    /** Render with 2-space column gaps and a rule under the header. */
+    std::string render() const;
+
+    /** Helper: format a double with @p digits decimal places. */
+    static std::string fmt(double value, int digits = 2);
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+    std::vector<std::size_t> separators_;
+};
+
+} // namespace tlsim
+
+#endif // TLSIM_COMMON_TABLE_HPP

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every tlsim module.
+ */
+
+#ifndef TLSIM_COMMON_TYPES_HPP
+#define TLSIM_COMMON_TYPES_HPP
+
+#include <cstdint>
+#include <limits>
+
+namespace tlsim {
+
+/** Simulated time, measured in processor clock cycles. */
+using Cycle = std::uint64_t;
+
+/** Physical byte address in the simulated machine. */
+using Addr = std::uint64_t;
+
+/** Processor (node) index, dense from 0. */
+using ProcId = std::uint32_t;
+
+/**
+ * Global speculative task identifier.
+ *
+ * Task IDs encode sequential order: task i precedes task j in sequential
+ * semantics iff i < j. IDs are dense within one speculative section.
+ */
+using TaskId = std::uint64_t;
+
+/** Sentinel for "no task" (e.g. non-speculative data in a cache line). */
+inline constexpr TaskId kNoTask = std::numeric_limits<TaskId>::max();
+
+/** Sentinel for "no processor". */
+inline constexpr ProcId kNoProc = std::numeric_limits<ProcId>::max();
+
+/** Sentinel cycle value, used for "never" / "not scheduled". */
+inline constexpr Cycle kCycleNever = std::numeric_limits<Cycle>::max();
+
+} // namespace tlsim
+
+#endif // TLSIM_COMMON_TYPES_HPP

@@ -1,0 +1,252 @@
+#include "cpu/core.hpp"
+
+#include "common/log.hpp"
+
+namespace tlsim::cpu {
+
+Core::Core(ProcId id, EventQueue &eq, const CoreParams &params,
+           SpecMemoryIf &mem, CoreListener &listener)
+    : id_(id), eq_(eq), params_(params), mem_(mem), listener_(listener),
+      storeBuf_(params.storeBufEntries)
+{
+}
+
+void
+Core::beginSection()
+{
+    inSection_ = true;
+    idleSince_ = eq_.now();
+    idleKind_ = CycleKind::EndStall;
+}
+
+void
+Core::endSection()
+{
+    if (state_ == State::Idle)
+        billIdle();
+    inSection_ = false;
+}
+
+void
+Core::billIdle()
+{
+    Cycle now = eq_.now();
+    if (now > idleSince_)
+        breakdown_.add(idleKind_, now - idleSince_);
+    idleSince_ = now;
+}
+
+void
+Core::setIdleKind(CycleKind kind)
+{
+    if (state_ == State::Idle)
+        billIdle(); // close the accrued span at the old kind
+    idleKind_ = kind;
+}
+
+void
+Core::enterIdle()
+{
+    state_ = State::Idle;
+    idleSince_ = eq_.now();
+    idleKind_ = CycleKind::EndStall;
+    task_ = kNoTask;
+    trace_.reset();
+}
+
+void
+Core::wait(Cycle cycles, CycleKind kind, std::function<void()> then)
+{
+    if (cycles > (Cycle(1) << 40)) {
+        std::fprintf(stderr,
+                     "Core::wait overflow: proc=%u kind=%s cycles=%llu "
+                     "state=%d task=%llu now=%llu\n",
+                     id_, cycleKindName(kind),
+                     (unsigned long long)cycles, int(state_),
+                     (unsigned long long)task_,
+                     (unsigned long long)eq_.now());
+        panic("Core::wait: implausible duration (overflow?)");
+    }
+    waitStart_ = eq_.now();
+    waitKind_ = kind;
+    pendingEvent_ = eq_.scheduleIn(
+        cycles, [this, then = std::move(then)]() {
+            pendingEvent_ = 0;
+            breakdown_.add(waitKind_, eq_.now() - waitStart_);
+            then();
+        });
+}
+
+void
+Core::startTask(TaskId task, std::unique_ptr<TaskTrace> trace,
+                Cycle dispatch_cycles)
+{
+    if (state_ != State::Idle)
+        panic("Core::startTask: core not idle");
+    billIdle();
+    state_ = State::Running;
+    task_ = task;
+    trace_ = std::move(trace);
+    storeBuf_.clear();
+    if (dispatch_cycles > 0) {
+        wait(dispatch_cycles, CycleKind::DispatchOverhead,
+             [this]() { step(); });
+    } else {
+        step();
+    }
+}
+
+void
+Core::startWorkBlock(Cycle duration, CycleKind kind,
+                     std::function<void()> done)
+{
+    if (state_ != State::Idle)
+        panic("Core::startWorkBlock: core not idle");
+    billIdle();
+    state_ = State::WorkBlock;
+    workDone_ = std::move(done);
+    wait(duration, kind, [this]() {
+        std::function<void()> done = std::move(workDone_);
+        enterIdle();
+        if (done)
+            done();
+    });
+}
+
+void
+Core::abortTask()
+{
+    if (state_ == State::Idle)
+        panic("Core::abortTask: no task");
+    if (state_ == State::WorkBlock)
+        panic("Core::abortTask: cannot abort a work block");
+    Cycle now = eq_.now();
+    if (pendingEvent_ != 0) {
+        eq_.cancel(pendingEvent_);
+        pendingEvent_ = 0;
+        breakdown_.add(waitKind_, now - waitStart_);
+    } else if (state_ == State::StallStore) {
+        breakdown_.add(waitKind_, now - waitStart_);
+    }
+    storeBuf_.clear();
+    enterIdle();
+}
+
+void
+Core::resumeStall()
+{
+    if (state_ != State::StallStore)
+        panic("Core::resumeStall: not stalled");
+    breakdown_.add(waitKind_, eq_.now() - waitStart_);
+    state_ = State::Running;
+    if (issueStore(stalledStoreAddr_))
+        step();
+}
+
+void
+Core::finishTask()
+{
+    Cycle drain = storeBuf_.drainTime(eq_.now());
+    if (drain > 0) {
+        wait(drain, CycleKind::MemStall, [this]() { finishTask(); });
+        return;
+    }
+    TaskId done = task_;
+    enterIdle();
+    listener_.onTaskFinished(id_, done);
+}
+
+/**
+ * Issue one store at the current time.
+ *
+ * @return true if execution can continue inline (no wait was
+ * scheduled and no stall was entered).
+ */
+bool
+Core::issueStore(Addr addr)
+{
+    StoreReply reply = mem_.specStore(id_, addr, eq_.now());
+    if (reply.stall != StoreStall::None) {
+        state_ = State::StallStore;
+        stalledStoreAddr_ = addr;
+        waitStart_ = eq_.now();
+        waitKind_ = reply.stall == StoreStall::SecondVersion
+                        ? CycleKind::VersionStall
+                        : CycleKind::OverflowStall;
+        return false;
+    }
+
+    Cycle log_cycles = computeCycles(reply.extraLogInstrs);
+    Cycle slot_wait = storeBuf_.waitForSlot(eq_.now());
+    storeBuf_.push(eq_.now() + slot_wait + log_cycles + reply.latency);
+
+    if (slot_wait > 0) {
+        wait(slot_wait, CycleKind::MemStall, [this, log_cycles]() {
+            if (log_cycles > 0) {
+                wait(log_cycles, CycleKind::LogOverhead,
+                     [this]() { step(); });
+            } else {
+                step();
+            }
+        });
+        return false;
+    }
+    if (log_cycles > 0) {
+        wait(log_cycles, CycleKind::LogOverhead, [this]() { step(); });
+        return false;
+    }
+    return true;
+}
+
+void
+Core::step()
+{
+    // Inline-process cheap ops to keep the event count proportional to
+    // time, not to op count; the budget guarantees forward progress in
+    // simulated time even for pathological all-zero-cost traces.
+    int inline_budget = 64;
+
+    while (state_ == State::Running) {
+        Op op = trace_->next();
+        switch (op.kind) {
+          case Op::Kind::Compute: {
+            instrs_ += op.instrs;
+            Cycle cycles = computeCycles(op.instrs);
+            if (cycles == 0) {
+                if (--inline_budget > 0)
+                    continue;
+                cycles = 1;
+            }
+            wait(cycles, CycleKind::Busy, [this]() { step(); });
+            return;
+          }
+          case Op::Kind::Load: {
+            LoadReply reply = mem_.specLoad(id_, op.addr, eq_.now());
+            Cycle stall = reply.latency > params_.loadHide
+                              ? reply.latency - params_.loadHide
+                              : 0;
+            if (stall == 0) {
+                if (--inline_budget > 0)
+                    continue;
+                stall = 1;
+            }
+            wait(stall, CycleKind::MemStall, [this]() { step(); });
+            return;
+          }
+          case Op::Kind::Store: {
+            if (issueStore(op.addr)) {
+                if (--inline_budget > 0)
+                    continue;
+                wait(1, CycleKind::Busy, [this]() { step(); });
+                return;
+            }
+            return;
+          }
+          case Op::Kind::End:
+            finishTask();
+            return;
+        }
+    }
+}
+
+} // namespace tlsim::cpu

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * The boundary between a processor core and the speculative memory
+ * system (implemented by tls::SpeculationEngine).
+ */
+
+#ifndef TLSIM_CPU_MEM_IF_HPP
+#define TLSIM_CPU_MEM_IF_HPP
+
+#include "common/types.hpp"
+
+namespace tlsim::cpu {
+
+/** Why a store could not proceed and the processor must suspend. */
+enum class StoreStall : std::uint8_t {
+    None,
+    /**
+     * MultiT&SV: the local buffer already holds a speculative version
+     * of this variable from an earlier local task; stall until that
+     * task becomes non-speculative.
+     */
+    SecondVersion,
+    /**
+     * AMM without an overflow area: the set is full of pinned
+     * speculative lines; stall until a commit frees buffering.
+     */
+    Overflow
+};
+
+/** Reply to a load request. */
+struct LoadReply {
+    Cycle latency = 0; ///< round-trip time of the access
+};
+
+/** Reply to a store request (checked at issue). */
+struct StoreReply {
+    Cycle latency = 0;            ///< drain time once accepted
+    StoreStall stall = StoreStall::None;
+    std::uint32_t extraLogInstrs = 0; ///< FMM.Sw software-logging work
+};
+
+/**
+ * Memory interface a core uses for the current task's accesses.
+ *
+ * All calls are made at issue time of the (in-order) core. When a
+ * store replies with a stall, the engine remembers the (proc, addr)
+ * waiter and later calls Core::resumeStall(); the core then re-issues
+ * the same store.
+ */
+class SpecMemoryIf
+{
+  public:
+    virtual ~SpecMemoryIf() = default;
+
+    /** Read by the current task of processor @p proc. */
+    virtual LoadReply specLoad(ProcId proc, Addr addr, Cycle now) = 0;
+
+    /** Write by the current task of processor @p proc. */
+    virtual StoreReply specStore(ProcId proc, Addr addr, Cycle now) = 0;
+};
+
+} // namespace tlsim::cpu
+
+#endif // TLSIM_CPU_MEM_IF_HPP

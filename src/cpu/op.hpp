@@ -1,0 +1,83 @@
+/**
+ * @file
+ * The operation stream a speculative task presents to its processor.
+ */
+
+#ifndef TLSIM_CPU_OP_HPP
+#define TLSIM_CPU_OP_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace tlsim::cpu {
+
+/**
+ * One operation of a task trace.
+ *
+ * Compute ops carry *instruction counts* (converted to cycles by the
+ * core's sustained IPC) and cover every instruction of the task,
+ * including the issue slots of loads and stores; Load/Store ops carry
+ * only the memory-system time of the access.
+ */
+struct Op {
+    enum class Kind : std::uint8_t {
+        Compute, ///< instrs instructions of non-memory work
+        Load,    ///< read of 8 bytes at addr
+        Store,   ///< write of 8 bytes at addr
+        End      ///< task complete
+    };
+
+    Kind kind = Kind::End;
+    std::uint32_t instrs = 0;
+    Addr addr = 0;
+
+    static Op
+    compute(std::uint32_t instrs)
+    {
+        return Op{Kind::Compute, instrs, 0};
+    }
+    static Op load(Addr addr) { return Op{Kind::Load, 0, addr}; }
+    static Op store(Addr addr) { return Op{Kind::Store, 0, addr}; }
+    static Op end() { return Op{}; }
+};
+
+/**
+ * Lazily generated operation stream of one task execution.
+ *
+ * A fresh trace is produced for each (re-)execution of a task; the
+ * stream must be deterministic in the task identity so re-execution
+ * after a squash replays identical behavior.
+ */
+class TaskTrace
+{
+  public:
+    virtual ~TaskTrace() = default;
+
+    /** Produce the next op; Kind::End signals completion. */
+    virtual Op next() = 0;
+};
+
+/** Convenience trace over a pre-built vector of ops (tests, examples). */
+class VectorTrace : public TaskTrace
+{
+  public:
+    explicit VectorTrace(std::vector<Op> ops) : ops_(std::move(ops)) {}
+
+    Op
+    next() override
+    {
+        if (pos_ >= ops_.size())
+            return Op::end();
+        return ops_[pos_++];
+    }
+
+  private:
+    std::vector<Op> ops_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace tlsim::cpu
+
+#endif // TLSIM_CPU_OP_HPP

@@ -1,0 +1,50 @@
+#include "mem/machine_params.hpp"
+
+namespace tlsim::mem {
+
+MachineParams
+MachineParams::numa16()
+{
+    MachineParams p;
+    p.kind = MachineKind::Numa16;
+    p.name = "numa16";
+    p.numProcs = 16;
+    p.l1 = CacheGeometry::of(32 * 1024, 2);
+    p.l2 = CacheGeometry::of(512 * 1024, 4);
+    p.latL1 = 2;
+    p.latL2 = 12;
+    p.latLocalMem = 75;
+    p.latRemote2Hop = 208;
+    p.latRemote3Hop = 291;
+    p.numBanks = 16; // one per node
+    p.occMemBank = 20;
+    p.commitFixedCycles = 900;
+    p.commitIssueGap = 8;
+    return p;
+}
+
+MachineParams
+MachineParams::cmp8()
+{
+    MachineParams p;
+    p.kind = MachineKind::Cmp8;
+    p.name = "cmp8";
+    p.numProcs = 8;
+    p.l1 = CacheGeometry::of(32 * 1024, 2);
+    p.l2 = CacheGeometry::of(256 * 1024, 4);
+    p.latL1 = 2;
+    p.latL2 = 8;
+    p.latOtherL2 = 18;
+    p.latL3 = 38;
+    p.latLocalMem = 102; // off-chip main memory
+    p.numBanks = 8;      // on-chip directory/L3-tag banks
+    p.occMemBank = 12;   // more bandwidth in the tightly coupled CMP
+    p.occL3Bank = 8;
+    p.loadHide = 8;
+    p.overflowCheckCycles = 22;
+    p.commitFixedCycles = 250;
+    p.commitIssueGap = 4;
+    return p;
+}
+
+} // namespace tlsim::mem

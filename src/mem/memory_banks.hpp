@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Banked main-memory (and CMP L3) timing model.
+ */
+
+#ifndef TLSIM_MEM_MEMORY_BANKS_HPP
+#define TLSIM_MEM_MEMORY_BANKS_HPP
+
+#include <vector>
+
+#include "common/resource.hpp"
+#include "common/types.hpp"
+
+namespace tlsim::mem {
+
+/**
+ * A set of independently contended banks. Zero-load latency lives in
+ * the machine latency table; this class only adds queueing delay and
+ * tracks utilization.
+ */
+class MemoryBanks
+{
+  public:
+    MemoryBanks(unsigned banks, Cycle occupancy)
+        : banks_(banks), occupancy_(occupancy)
+    {}
+
+    /** Reserve @p bank at @p when; @return queueing delay. */
+    Cycle
+    access(unsigned bank, Cycle when)
+    {
+        return banks_[bank % banks_.size()].acquire(when, occupancy_);
+    }
+
+    Cycle occupancy() const { return occupancy_; }
+
+    /** Latest next-free horizon across banks (debug/stats). */
+    Cycle
+    maxNextFree() const
+    {
+        Cycle m = 0;
+        for (const auto &b : banks_)
+            m = b.nextFree() > m ? b.nextFree() : m;
+        return m;
+    }
+    std::uint64_t
+    totalAccesses() const
+    {
+        std::uint64_t n = 0;
+        for (const auto &b : banks_)
+            n += b.uses();
+        return n;
+    }
+
+    void
+    reset()
+    {
+        for (auto &b : banks_)
+            b.reset();
+    }
+
+  private:
+    std::vector<Resource> banks_;
+    Cycle occupancy_;
+};
+
+} // namespace tlsim::mem
+
+#endif // TLSIM_MEM_MEMORY_BANKS_HPP

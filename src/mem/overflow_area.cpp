@@ -1,0 +1,49 @@
+#include "mem/overflow_area.hpp"
+
+namespace tlsim::mem {
+
+void
+OverflowArea::put(Addr line, VersionTag version, std::uint8_t write_mask)
+{
+    Key key{line, version.producer, version.incarnation};
+    auto [it, inserted] = entries_.emplace(key, write_mask);
+    if (!inserted)
+        it->second |= write_mask;
+    else
+        ++spills_;
+    if (entries_.size() > peak_)
+        peak_ = entries_.size();
+}
+
+bool
+OverflowArea::contains(Addr line, VersionTag version) const
+{
+    return entries_.count(Key{line, version.producer,
+                              version.incarnation}) != 0;
+}
+
+bool
+OverflowArea::remove(Addr line, VersionTag version)
+{
+    return entries_.erase(Key{line, version.producer,
+                              version.incarnation}) != 0;
+}
+
+void
+OverflowArea::dropTask(TaskId producer)
+{
+    for (auto it = entries_.begin(); it != entries_.end();) {
+        if (it->first.producer == producer)
+            it = entries_.erase(it);
+        else
+            ++it;
+    }
+}
+
+void
+OverflowArea::clear()
+{
+    entries_.clear();
+}
+
+} // namespace tlsim::mem

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Per-processor overflow area for speculative state (AMM schemes).
+ *
+ * Follows Prvulovic01: speculative lines displaced from the L2 by
+ * capacity or conflicts spill into a special region of local memory
+ * instead of stalling the processor. Unlike MHB entries, overflowed
+ * versions are live data: they must be found again by readers and by
+ * the commit merge, at local-memory latency.
+ */
+
+#ifndef TLSIM_MEM_OVERFLOW_AREA_HPP
+#define TLSIM_MEM_OVERFLOW_AREA_HPP
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/types.hpp"
+#include "mem/version_tag.hpp"
+
+namespace tlsim::mem {
+
+/**
+ * Overflow storage for one processor: a map from (line, version) to
+ * the written-word mask. Capacity is unbounded (it lives in memory);
+ * the cost is latency, charged by the engine.
+ */
+class OverflowArea
+{
+  public:
+    /** Add a displaced speculative line. */
+    void put(Addr line, VersionTag version, std::uint8_t write_mask);
+
+    /** True if (line, version) is present. */
+    bool contains(Addr line, VersionTag version) const;
+
+    /** Remove one entry; returns false if absent. */
+    bool remove(Addr line, VersionTag version);
+
+    /** Drop every entry belonging to @p version's producer. */
+    void dropTask(TaskId producer);
+
+    /** Current number of entries. */
+    std::size_t size() const { return entries_.size(); }
+
+    /** High-water mark of entries (buffer-pressure statistic). */
+    std::size_t peakSize() const { return peak_; }
+
+    /** Lifetime number of spills. */
+    std::uint64_t totalSpills() const { return spills_; }
+
+    void clear();
+
+  private:
+    struct Key {
+        Addr line;
+        TaskId producer;
+        std::uint32_t incarnation;
+        bool
+        operator==(const Key &o) const
+        {
+            return line == o.line && producer == o.producer &&
+                   incarnation == o.incarnation;
+        }
+    };
+    struct KeyHash {
+        std::size_t
+        operator()(const Key &k) const
+        {
+            std::size_t h = std::hash<Addr>()(k.line);
+            h ^= std::hash<TaskId>()(k.producer) + 0x9e3779b9 + (h << 6);
+            h ^= std::hash<std::uint32_t>()(k.incarnation) + (h >> 2);
+            return h;
+        }
+    };
+
+    std::unordered_map<Key, std::uint8_t, KeyHash> entries_;
+    std::size_t peak_ = 0;
+    std::uint64_t spills_ = 0;
+};
+
+} // namespace tlsim::mem
+
+#endif // TLSIM_MEM_OVERFLOW_AREA_HPP

@@ -1,0 +1,62 @@
+#include "mem/undo_log.hpp"
+
+#include <algorithm>
+
+namespace tlsim::mem {
+
+void
+UndoLog::append(TaskId overwriting, const UndoLogEntry &entry)
+{
+    groups_[overwriting].push_back(entry);
+    ++liveEntries_;
+    ++appends_;
+    if (liveEntries_ > peak_)
+        peak_ = liveEntries_;
+}
+
+const std::vector<UndoLogEntry> &
+UndoLog::entriesOf(TaskId task) const
+{
+    static const std::vector<UndoLogEntry> kEmpty;
+    auto it = groups_.find(task);
+    return it == groups_.end() ? kEmpty : it->second;
+}
+
+std::size_t
+UndoLog::countOf(TaskId task) const
+{
+    auto it = groups_.find(task);
+    return it == groups_.end() ? 0 : it->second.size();
+}
+
+void
+UndoLog::dropTask(TaskId task)
+{
+    auto it = groups_.find(task);
+    if (it == groups_.end())
+        return;
+    liveEntries_ -= it->second.size();
+    groups_.erase(it);
+}
+
+std::vector<UndoLogEntry>
+UndoLog::takeForRecovery(TaskId task)
+{
+    auto it = groups_.find(task);
+    if (it == groups_.end())
+        return {};
+    std::vector<UndoLogEntry> out = std::move(it->second);
+    liveEntries_ -= out.size();
+    groups_.erase(it);
+    std::reverse(out.begin(), out.end());
+    return out;
+}
+
+void
+UndoLog::clear()
+{
+    groups_.clear();
+    liveEntries_ = 0;
+}
+
+} // namespace tlsim::mem

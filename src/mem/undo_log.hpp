@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Per-processor undo log implementing the Memory-System History Buffer
+ * (MHB) of FMM schemes.
+ *
+ * When a task is about to create its own version of a variable, the
+ * most recent earlier version is saved here together with its producer
+ * task ID (needed to reconstruct total version order on recovery) and
+ * the overwriting task's ID (to find the entries to replay when that
+ * task squashes). See Figure 7-(c) of the paper.
+ */
+
+#ifndef TLSIM_MEM_UNDO_LOG_HPP
+#define TLSIM_MEM_UNDO_LOG_HPP
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "mem/version_tag.hpp"
+
+namespace tlsim::mem {
+
+/** One MHB record: the overwritten version of one line. */
+struct UndoLogEntry {
+    Addr line = 0;
+    /** Producer of the version that was overwritten. */
+    VersionTag oldVersion = VersionTag::arch();
+    /** Written-word mask of the overwritten version. */
+    std::uint8_t oldMask = 0;
+    /** Task whose new version displaced oldVersion (group tag). */
+    TaskId overwriting = 0;
+};
+
+/**
+ * Sequentially-written, per-processor log (ULOG support in Table 1).
+ *
+ * Entries are grouped by overwriting task so that recovery can replay
+ * exactly the squashed tasks' groups in reverse order, and commit can
+ * free groups cheaply.
+ */
+class UndoLog
+{
+  public:
+    /** Append a record for @p overwriting task. */
+    void append(TaskId overwriting, const UndoLogEntry &entry);
+
+    /** Entries written by @p task, in append order. */
+    const std::vector<UndoLogEntry> &entriesOf(TaskId task) const;
+
+    /** Number of entries currently held for @p task. */
+    std::size_t countOf(TaskId task) const;
+
+    /** Free a committed task's group (its history is no longer needed). */
+    void dropTask(TaskId task);
+
+    /**
+     * Remove and return @p task's entries in *reverse* append order,
+     * ready to be replayed by the recovery handler.
+     */
+    std::vector<UndoLogEntry> takeForRecovery(TaskId task);
+
+    /** Total live entries across all groups. */
+    std::size_t size() const { return liveEntries_; }
+
+    /** High-water mark of live entries. */
+    std::size_t peakSize() const { return peak_; }
+
+    /** Lifetime appended entries. */
+    std::uint64_t totalAppends() const { return appends_; }
+
+    void clear();
+
+  private:
+    std::map<TaskId, std::vector<UndoLogEntry>> groups_;
+    std::size_t liveEntries_ = 0;
+    std::size_t peak_ = 0;
+    std::uint64_t appends_ = 0;
+};
+
+} // namespace tlsim::mem
+
+#endif // TLSIM_MEM_UNDO_LOG_HPP

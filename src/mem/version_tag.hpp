@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Version identity for speculative data: which task (and which
+ * incarnation of that task, across squash/re-execution) produced it.
+ */
+
+#ifndef TLSIM_MEM_VERSION_TAG_HPP
+#define TLSIM_MEM_VERSION_TAG_HPP
+
+#include <cstdint>
+#include <functional>
+
+#include "common/types.hpp"
+
+namespace tlsim::mem {
+
+/**
+ * Identifies one version of a line.
+ *
+ * This is the simulator's view of the paper's CTID (cache task-ID tag):
+ * hardware stores only the task ID; we additionally carry an
+ * incarnation number so that versions created by a squashed execution
+ * of a task can never be confused with versions of its re-execution.
+ *
+ * producer == 0 denotes the architectural (pre-section) version.
+ */
+struct VersionTag {
+    TaskId producer = 0;
+    std::uint32_t incarnation = 0;
+
+    static VersionTag arch() { return VersionTag{}; }
+
+    bool isArch() const { return producer == 0; }
+
+    bool
+    operator==(const VersionTag &other) const
+    {
+        return producer == other.producer &&
+               incarnation == other.incarnation;
+    }
+
+    bool operator!=(const VersionTag &other) const
+    {
+        return !(*this == other);
+    }
+};
+
+} // namespace tlsim::mem
+
+#endif // TLSIM_MEM_VERSION_TAG_HPP

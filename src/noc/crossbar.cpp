@@ -1,0 +1,30 @@
+#include "noc/crossbar.hpp"
+
+#include "common/log.hpp"
+
+namespace tlsim::noc {
+
+Crossbar::Crossbar(unsigned nodes) : ports_(nodes)
+{
+    if (nodes == 0)
+        fatal("Crossbar: zero nodes");
+}
+
+Cycle
+Crossbar::traverse(Cycle when, NodeId src, NodeId dst, MsgClass cls)
+{
+    ++messages_;
+    if (src == dst)
+        return 0;
+    return ports_[dst].acquire(when, msgOccupancy(cls));
+}
+
+void
+Crossbar::reset()
+{
+    for (auto &p : ports_)
+        p.reset();
+    messages_ = 0;
+}
+
+} // namespace tlsim::noc

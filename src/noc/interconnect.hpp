@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Abstract interconnect: zero-load latency lives in the machine latency
+ * table; the interconnect contributes hop counts and queueing delay.
+ */
+
+#ifndef TLSIM_NOC_INTERCONNECT_HPP
+#define TLSIM_NOC_INTERCONNECT_HPP
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace tlsim::noc {
+
+/** Node index inside an interconnect (processors/banks). */
+using NodeId = std::uint32_t;
+
+/** Message classes with different serialization costs. */
+enum class MsgClass : std::uint8_t {
+    Control, ///< request/ack, a few bytes
+    Data     ///< carries a 64-byte cache line
+};
+
+/**
+ * Base interface for interconnect models.
+ *
+ * The paper quotes *minimum round-trip* latencies per access type, so
+ * the zero-load traversal time is already folded into the machine's
+ * latency table. An Interconnect therefore only answers two questions:
+ * how many hops separate two nodes (for picking the right table row)
+ * and how much *extra* delay congestion adds right now.
+ */
+class Interconnect
+{
+  public:
+    virtual ~Interconnect() = default;
+
+    /** Number of network hops between two nodes. */
+    virtual unsigned hops(NodeId src, NodeId dst) const = 0;
+
+    /**
+     * Reserve the path src->dst for one message at time @p when.
+     * @return queueing delay in cycles caused by contention.
+     */
+    virtual Cycle traverse(Cycle when, NodeId src, NodeId dst,
+                           MsgClass cls) = 0;
+
+    /** Number of nodes attached. */
+    virtual NodeId numNodes() const = 0;
+
+    /** Clear all contention state. */
+    virtual void reset() = 0;
+
+    /** Total messages injected since reset. */
+    std::uint64_t messages() const { return messages_; }
+
+  protected:
+    std::uint64_t messages_ = 0;
+};
+
+/** Serialization occupancy (cycles) of one message on a link. */
+Cycle msgOccupancy(MsgClass cls);
+
+} // namespace tlsim::noc
+
+#endif // TLSIM_NOC_INTERCONNECT_HPP

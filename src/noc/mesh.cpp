@@ -1,0 +1,90 @@
+#include "noc/mesh.hpp"
+
+#include <cstdlib>
+
+#include "common/log.hpp"
+
+namespace tlsim::noc {
+
+Cycle
+msgOccupancy(MsgClass cls)
+{
+    // 8-byte-wide links: a control message is one flit, a 64-byte data
+    // message serializes over 8 flits.
+    return cls == MsgClass::Data ? 8 : 1;
+}
+
+namespace {
+// Direction encoding for directed links.
+enum { kNorth = 0, kSouth = 1, kEast = 2, kWest = 3, kNumDirs = 4 };
+} // namespace
+
+Mesh2D::Mesh2D(unsigned rows, unsigned cols)
+    : rows_(rows), cols_(cols), links_(rows * cols * kNumDirs)
+{
+    if (rows == 0 || cols == 0)
+        fatal("Mesh2D: degenerate dimensions");
+}
+
+unsigned
+Mesh2D::hops(NodeId src, NodeId dst) const
+{
+    int dr = int(rowOf(dst)) - int(rowOf(src));
+    int dc = int(colOf(dst)) - int(colOf(src));
+    return unsigned(std::abs(dr) + std::abs(dc));
+}
+
+Resource &
+Mesh2D::link(NodeId from, int dir)
+{
+    return links_[from * kNumDirs + dir];
+}
+
+Cycle
+Mesh2D::traverse(Cycle when, NodeId src, NodeId dst, MsgClass cls)
+{
+    ++messages_;
+    if (src == dst)
+        return 0;
+
+    const Cycle occ = msgOccupancy(cls);
+    Cycle t = when;
+    Cycle delay = 0;
+
+    // X-first dimension-order routing.
+    NodeId cur = src;
+    while (colOf(cur) != colOf(dst)) {
+        int dir = colOf(dst) > colOf(cur) ? kEast : kWest;
+        Cycle d = link(cur, dir).acquire(t, occ);
+        delay += d;
+        t += d + occ;
+        cur = dir == kEast ? cur + 1 : cur - 1;
+    }
+    while (rowOf(cur) != rowOf(dst)) {
+        int dir = rowOf(dst) > rowOf(cur) ? kSouth : kNorth;
+        Cycle d = link(cur, dir).acquire(t, occ);
+        delay += d;
+        t += d + occ;
+        cur = dir == kSouth ? cur + cols_ : cur - cols_;
+    }
+    return delay;
+}
+
+void
+Mesh2D::reset()
+{
+    for (auto &l : links_)
+        l.reset();
+    messages_ = 0;
+}
+
+Cycle
+Mesh2D::totalLinkBusy() const
+{
+    Cycle sum = 0;
+    for (const auto &l : links_)
+        sum += l.busyCycles();
+    return sum;
+}
+
+} // namespace tlsim::noc

@@ -1,0 +1,142 @@
+#include "sim/study.hpp"
+
+#include <sstream>
+
+#include "common/log.hpp"
+#include "common/table.hpp"
+
+namespace tlsim::sim {
+
+double
+AppStudy::normalized(std::size_t idx) const
+{
+    if (outcomes.empty() || outcomes[0].meanExecTime == 0)
+        return 0.0;
+    return outcomes[idx].meanExecTime / outcomes[0].meanExecTime;
+}
+
+double
+AppStudy::busyShare(std::size_t idx) const
+{
+    return outcomes[idx].result.busyFraction();
+}
+
+tls::RunResult
+runScheme(const apps::AppParams &app, const tls::SchemeConfig &scheme,
+          const mem::MachineParams &machine)
+{
+    apps::LoopWorkload workload(app);
+    tls::EngineConfig cfg;
+    cfg.scheme = scheme;
+    cfg.machine = machine;
+    tls::SpeculationEngine engine(cfg, workload);
+    return engine.run();
+}
+
+tls::RunResult
+runSequential(const apps::AppParams &app,
+              const mem::MachineParams &machine)
+{
+    apps::LoopWorkload workload(app);
+    tls::EngineConfig cfg;
+    cfg.machine = machine;
+    cfg.sequential = true;
+    tls::SpeculationEngine engine(cfg, workload);
+    return engine.run();
+}
+
+AppStudy
+runAppStudy(const apps::AppParams &app,
+            const std::vector<tls::SchemeConfig> &schemes,
+            const mem::MachineParams &machine, unsigned replications)
+{
+    AppStudy study;
+    study.app = app;
+    study.machine = machine;
+    study.seqTime = runSequential(app, machine).execTime;
+    for (const tls::SchemeConfig &scheme : schemes) {
+        SchemeOutcome out;
+        out.scheme = scheme;
+        double exec_sum = 0.0;
+        double squash_sum = 0.0;
+        for (unsigned rep = 0; rep < std::max(1u, replications); ++rep) {
+            apps::AppParams varied = app;
+            varied.seed = app.seed + std::uint64_t(rep) * 0x10001;
+            tls::RunResult r = runScheme(varied, scheme, machine);
+            exec_sum += double(r.execTime);
+            squash_sum += double(r.squashEvents);
+            if (rep == 0)
+                out.result = std::move(r);
+        }
+        out.meanExecTime = exec_sum / std::max(1u, replications);
+        out.meanSquashes = squash_sum / std::max(1u, replications);
+        if (out.meanExecTime > 0)
+            out.speedup = double(study.seqTime) / out.meanExecTime;
+        study.outcomes.push_back(std::move(out));
+    }
+    return study;
+}
+
+std::string
+renderFigure(const std::string &title,
+             const std::vector<AppStudy> &studies)
+{
+    std::ostringstream oss;
+    oss << title << "\n";
+    oss << "(execution time normalized to " << "the first scheme; "
+        << "Busy/Stall split as in the paper's bars; number = speedup "
+        << "over sequential)\n\n";
+
+    TextTable table({"App", "Scheme", "Norm.time", "Busy", "Stall",
+                     "Speedup", "Squashes"});
+    for (const AppStudy &study : studies) {
+        for (std::size_t i = 0; i < study.outcomes.size(); ++i) {
+            const SchemeOutcome &out = study.outcomes[i];
+            double norm = study.normalized(i);
+            double busy = norm * out.result.busyFraction();
+            table.addRow({
+                i == 0 ? study.app.name : "",
+                out.scheme.name(),
+                TextTable::fmt(norm, 3),
+                TextTable::fmt(busy, 3),
+                TextTable::fmt(norm - busy, 3),
+                TextTable::fmt(out.speedup, 1),
+                TextTable::fmt(out.meanSquashes, 1),
+            });
+        }
+        table.addSeparator();
+    }
+
+    FigureAverages avg = figureAverages(studies);
+    if (!studies.empty()) {
+        for (std::size_t i = 0; i < avg.normTime.size(); ++i) {
+            table.addRow({
+                i == 0 ? "Average" : "",
+                studies[0].outcomes[i].scheme.name(),
+                TextTable::fmt(avg.normTime[i], 3),
+                "", "", "", "",
+            });
+        }
+    }
+    oss << table.render();
+    return oss.str();
+}
+
+FigureAverages
+figureAverages(const std::vector<AppStudy> &studies)
+{
+    FigureAverages avg;
+    if (studies.empty())
+        return avg;
+    std::size_t n = studies[0].outcomes.size();
+    avg.normTime.assign(n, 0.0);
+    for (const AppStudy &study : studies) {
+        for (std::size_t i = 0; i < n && i < study.outcomes.size(); ++i)
+            avg.normTime[i] += study.normalized(i);
+    }
+    for (double &v : avg.normTime)
+        v /= double(studies.size());
+    return avg;
+}
+
+} // namespace tlsim::sim

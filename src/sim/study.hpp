@@ -1,0 +1,86 @@
+/**
+ * @file
+ * High-level drivers: run an application under one or many schemes on
+ * one machine, normalize against SingleT-Eager and the sequential
+ * baseline, and render paper-style figure tables.
+ */
+
+#ifndef TLSIM_SIM_STUDY_HPP
+#define TLSIM_SIM_STUDY_HPP
+
+#include <string>
+#include <vector>
+
+#include "apps/app_suite.hpp"
+#include "mem/machine_params.hpp"
+#include "tls/engine.hpp"
+#include "tls/run_result.hpp"
+#include "tls/scheme.hpp"
+
+namespace tlsim::sim {
+
+/** One scheme's results for one application. */
+struct SchemeOutcome {
+    tls::SchemeConfig scheme;
+    /** Result of the first replication (detailed breakdowns). */
+    tls::RunResult result;
+    /** Mean execution time across replications. */
+    double meanExecTime = 0.0;
+    /** Mean squash events across replications. */
+    double meanSquashes = 0.0;
+    /** Speedup over the sequential baseline (paper: numbers on bars). */
+    double speedup = 0.0;
+};
+
+/** All schemes for one application on one machine. */
+struct AppStudy {
+    apps::AppParams app;
+    mem::MachineParams machine;
+    Cycle seqTime = 0;
+    std::vector<SchemeOutcome> outcomes;
+
+    /** Execution time normalized to the first outcome (SingleT Eager
+     *  in the paper's figures). */
+    double normalized(std::size_t idx) const;
+    /** Busy share of outcome idx's machine time (0..1). */
+    double busyShare(std::size_t idx) const;
+};
+
+/** Simulate one (app, scheme, machine) point. */
+tls::RunResult runScheme(const apps::AppParams &app,
+                         const tls::SchemeConfig &scheme,
+                         const mem::MachineParams &machine);
+
+/** Simulate the sequential baseline (Tseq of the loop). */
+tls::RunResult runSequential(const apps::AppParams &app,
+                             const mem::MachineParams &machine);
+
+/**
+ * Run one app under a list of schemes (plus the baseline).
+ * @param replications runs per scheme with perturbed seeds; results
+ *        are averaged (squash timing makes single runs noisy).
+ */
+AppStudy runAppStudy(const apps::AppParams &app,
+                     const std::vector<tls::SchemeConfig> &schemes,
+                     const mem::MachineParams &machine,
+                     unsigned replications = 1);
+
+/**
+ * Render a figure-9/10/11-style table: one row per (app, scheme) with
+ * normalized busy/stall split and speedup over sequential.
+ */
+std::string renderFigure(const std::string &title,
+                         const std::vector<AppStudy> &studies);
+
+/** Geometric-mean-free average row used in the paper ("Average"). */
+struct FigureAverages {
+    /** Mean normalized execution time per scheme (normalized to the
+     *  first scheme of each study). */
+    std::vector<double> normTime;
+};
+
+FigureAverages figureAverages(const std::vector<AppStudy> &studies);
+
+} // namespace tlsim::sim
+
+#endif // TLSIM_SIM_STUDY_HPP

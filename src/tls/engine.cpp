@@ -1,0 +1,716 @@
+/**
+ * @file
+ * SpeculationEngine lifecycle: construction, dispatch, commit chain,
+ * squash and recovery. The load/store paths live in engine_access.cpp.
+ */
+
+#include "tls/engine.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/log.hpp"
+#include "mem/geometry.hpp"
+#include "noc/crossbar.hpp"
+#include "noc/mesh.hpp"
+
+namespace tlsim::tls {
+
+namespace {
+
+/** Rows of the mesh for a NUMA machine with n nodes (4 for n=16). */
+unsigned
+meshRows(unsigned n)
+{
+    unsigned r = 1;
+    while (r * r < n)
+        ++r;
+    return r;
+}
+
+} // namespace
+
+SpeculationEngine::SpeculationEngine(const EngineConfig &cfg,
+                                     Workload &workload)
+    : cfg_(cfg), workload_(workload),
+      memBanks_(cfg.machine.numBanks, cfg.machine.occMemBank),
+      l3Banks_(cfg.machine.numBanks, cfg.machine.occL3Bank)
+{
+    const mem::MachineParams &m = cfg_.machine;
+
+    if (m.isNuma()) {
+        unsigned rows = meshRows(m.numProcs);
+        net_ = std::make_unique<noc::Mesh2D>(rows,
+                                             (m.numProcs + rows - 1) /
+                                                 rows);
+    } else {
+        net_ = std::make_unique<noc::Crossbar>(
+            std::max(m.numProcs, m.numBanks));
+        l3_ = std::make_unique<mem::VersionedCache>(
+            mem::CacheGeometry::of(16ULL * 1024 * 1024, 4), false);
+    }
+
+    l2Ports_.resize(m.numProcs);
+    dirBanks_.resize(m.numBanks);
+
+    cpu::CoreParams core_params;
+    core_params.ipc = m.ipc;
+    core_params.loadHide = m.loadHide;
+    core_params.storeBufEntries = m.storeBufEntries;
+
+    for (ProcId p = 0; p < m.numProcs; ++p) {
+        cores_.push_back(std::make_unique<cpu::Core>(
+            p, eq_, core_params, *this, *this));
+        l1_.push_back(
+            std::make_unique<mem::VersionedCache>(m.l1, false));
+        l2_.push_back(std::make_unique<mem::VersionedCache>(
+            m.l2, cfg_.scheme.multiVersion()));
+    }
+    overflow_.resize(m.numProcs);
+    logs_.resize(m.numProcs);
+    uncommittedFinished_.assign(m.numProcs, 0);
+    procInRecovery_.assign(m.numProcs, false);
+    recoveryOutstanding_.assign(m.numProcs, 0);
+    pendingRecovery_.assign(m.numProcs, 0);
+    recoveryBlockActive_.assign(m.numProcs, false);
+
+    TaskId n = workload_.numTasks();
+    tasks_.resize(n);
+    for (TaskId t = 1; t <= n; ++t)
+        tasks_[t - 1].id = t;
+}
+
+SpeculationEngine::~SpeculationEngine() = default;
+
+void
+SpeculationEngine::specTasksDelta(int delta)
+{
+    Cycle now = eq_.now();
+    specTaskIntegral_ += double(specTasksNow_) * double(now - specTasksSince_);
+    specTasksSince_ = now;
+    specTasksNow_ = unsigned(int(specTasksNow_) + delta);
+}
+
+RunResult
+SpeculationEngine::run()
+{
+    // The sequential baseline runs every task back to back; barriers
+    // only matter under speculation.
+    invocEnd_ = cfg_.sequential
+                    ? workload_.numTasks()
+                    : std::min<TaskId>(workload_.numTasks(),
+                                       workload_.tasksPerInvocation());
+    scheduler_.init(invocEnd_);
+    for (auto &core : cores_)
+        core->beginSection();
+
+    if (cfg_.sequential)
+        tryDispatch(0);
+    else
+        tryDispatchAll();
+
+    eq_.run();
+
+    if (!sectionDone_)
+        panic("SpeculationEngine: event queue drained before the "
+              "section completed (deadlock)");
+
+    return collectResult();
+}
+
+void
+SpeculationEngine::tryDispatchAll()
+{
+    for (ProcId p = 0; p < numProcs(); ++p)
+        tryDispatch(p);
+}
+
+void
+SpeculationEngine::tryDispatch(ProcId proc)
+{
+    if (sectionDone_)
+        return;
+    if (cfg_.sequential && proc != 0)
+        return;
+    cpu::Core &core = *cores_[proc];
+    if (!core.idle())
+        return;
+    if (procInRecovery_[proc])
+        return;
+    if (!cfg_.sequential &&
+        cfg_.scheme.separation == Separation::SingleT &&
+        uncommittedFinished_[proc] > 0) {
+        // SingleT: the processor must hold state for at most one
+        // speculative task; stall until the finished task commits.
+        core.setIdleKind(CycleKind::TokenStall);
+        return;
+    }
+    if (scheduler_.empty()) {
+        core.setIdleKind(CycleKind::EndStall);
+        return;
+    }
+
+    TaskId id = scheduler_.take();
+    TaskRecord &r = rec(id);
+    r.state = TaskState::Running;
+    r.proc = proc;
+    ++r.incarnation;
+    r.resetFootprint();
+    r.execStart = eq_.now();
+    if (!cfg_.sequential)
+        specTasksDelta(+1);
+    counters_.inc("dispatches");
+    core.startTask(id, workload_.makeTrace(id),
+                   cfg_.sequential ? 0 : cfg_.machine.dispatchCycles);
+}
+
+void
+SpeculationEngine::onTaskFinished(ProcId proc, TaskId id)
+{
+    TaskRecord &r = rec(id);
+    r.execEnd = eq_.now();
+
+    if (cfg_.sequential) {
+        r.state = TaskState::Committed;
+        footprintWords_ += r.writtenWords.size();
+        footprintPrivWords_ += r.privWords;
+        execDurSum_ += r.execEnd - r.execStart;
+        ++commitSamples_;
+        if (id == workload_.numTasks()) {
+            sectionEnd_ = eq_.now();
+            endSection();
+        } else {
+            tryDispatch(proc);
+        }
+        return;
+    }
+
+    r.state = TaskState::Finished;
+    ++uncommittedFinished_[proc];
+    if (id == nextCommit_)
+        maybeCommit();
+    if (!recoveryQueue_.empty())
+        runRecoveryQueue(); // a deferred FMM handler may need this core
+    tryDispatch(proc);
+}
+
+void
+SpeculationEngine::maybeCommit()
+{
+    if (commitInProgress_ || sectionDone_ || barrierActive_)
+        return;
+    if (nextCommit_ > invocEnd_) {
+        advanceInvocation();
+        return;
+    }
+    TaskRecord &r = rec(nextCommit_);
+    if (r.state != TaskState::Finished)
+        return;
+
+    commitInProgress_ = true;
+    r.state = TaskState::Committing;
+    r.commitStart = eq_.now();
+    TaskId id = r.id;
+
+    if (cfg_.scheme.merging == Merging::EagerAMM) {
+        Cycle finish = mergeTaskState(id, eq_.now());
+        Cycle dur = std::max<Cycle>(finish - eq_.now(),
+                                    cfg_.machine.tokenPassCycles);
+        if (cfg_.scheme.separation == Separation::SingleT) {
+            // The processor itself performs the merge.
+            cpu::Core &core = *cores_[r.proc];
+            if (!core.idle())
+                panic("SingleT commit: owner core not idle");
+            core.startWorkBlock(dur, CycleKind::CommitWork,
+                                [this, id]() { finishCommit(id); });
+        } else {
+            // Background hardware writes the lines back; the commit
+            // token still only passes once the merge completes.
+            eq_.scheduleIn(dur, [this, id]() { finishCommit(id); });
+        }
+    } else {
+        // Lazy AMM and FMM: commit is just the token handoff.
+        eq_.scheduleIn(cfg_.machine.tokenPassCycles,
+                       [this, id]() { finishCommit(id); });
+    }
+}
+
+Cycle
+SpeculationEngine::mergeTaskState(TaskId id, Cycle start)
+{
+    // Pipelined drain model: the commit engine pays a fixed startup
+    // cost, then walks the task's write-back table issuing one line
+    // per commitIssueGap; lines that spilled to the overflow area add
+    // a local-memory read to the pipeline. Bank and link occupancy is
+    // reserved so that concurrent execution feels the merge traffic;
+    // the merge's own duration is the issue pipeline plus the one-way
+    // drain of the last line.
+    TaskRecord &r = rec(id);
+    const mem::MachineParams &m = cfg_.machine;
+    Cycle issue = start + m.commitFixedCycles;
+    Cycle oneway = 0;
+
+    for (Addr line : r.dirtyLines) {
+        VersionInfo *v = versions_.find(line, r.tag());
+        if (!v || v->inMemory)
+            continue;
+        issue += m.commitIssueGap;
+        if (v->inOverflow) {
+            // Fetch the overflowed line from local memory first.
+            issue += m.latLocalMem / 4;
+            memBanks_.access(r.proc % m.numBanks, start);
+            counters_.inc("commit_overflow_fetches");
+        }
+        unsigned home = homeOf(line);
+        net_->traverse(start, r.proc % net_->numNodes(),
+                       home % net_->numNodes(), noc::MsgClass::Data);
+        memBanks_.access(home, start);
+        Cycle ow;
+        if (m.isNuma())
+            ow = (home == r.proc ? m.latLocalMem : m.latRemote2Hop) / 2;
+        else
+            ow = m.latL3 / 2;
+        oneway = std::max(oneway, ow);
+        counters_.inc("eager_writebacks");
+    }
+    return issue + oneway;
+}
+
+void
+SpeculationEngine::finishCommit(TaskId id)
+{
+    TaskRecord &r = rec(id);
+    r.state = TaskState::Committed;
+    r.commitEnd = eq_.now();
+
+    execDurSum_ += r.execEnd - r.execStart;
+    commitDurSum_ += r.commitEnd - r.commitStart;
+    ++commitSamples_;
+    footprintWords_ += r.writtenWords.size();
+    footprintPrivWords_ += r.privWords;
+
+    if (uncommittedFinished_[r.proc] == 0)
+        panic("finishCommit: uncommittedFinished underflow");
+    --uncommittedFinished_[r.proc];
+    specTasksDelta(-1);
+
+    for (Addr line : r.dirtyLines) {
+        VersionInfo *v = versions_.find(line, r.tag());
+        if (!v)
+            continue;
+        v->committed = true;
+        switch (cfg_.scheme.merging) {
+          case Merging::EagerAMM: {
+            // Data was written back during the merge.
+            if (VersionInfo *old = versions_.memoryHolder(line)) {
+                if (old != v)
+                    old->inMemory = false;
+            }
+            v->inMemory = true;
+            mtid_.set(line, v->tag);
+            if (v->inOverflow) {
+                overflow_[r.proc].remove(line, v->tag);
+                v->inOverflow = false;
+                v->cacheOwner = kNoProc;
+            } else if (v->cacheOwner != kNoProc) {
+                // The cached copy becomes a clean replica.
+                if (auto *f = l2_[v->cacheOwner]->findVersion(line,
+                                                              v->tag)) {
+                    f->dirty = false;
+                    f->speculative = false;
+                }
+                v->cacheOwner = kNoProc;
+            }
+            if (l3_) {
+                mem::CacheLineState cl;
+                cl.line = line;
+                cl.version = v->tag;
+                l3_->insert(cl, eq_.now());
+            }
+            break;
+          }
+          case Merging::LazyAMM:
+          case Merging::FMM: {
+            // Committed versions linger where they are; displacement
+            // or external requests merge them later (VCL under Lazy,
+            // MTID-guarded write-backs under FMM).
+            if (v->cacheOwner != kNoProc && !v->inOverflow) {
+                if (auto *f = l2_[v->cacheOwner]->findVersion(line,
+                                                              v->tag)) {
+                    f->speculative = false;
+                    f->dirty = false;
+                    f->committedDirty = true;
+                }
+            }
+            break;
+          }
+        }
+    }
+
+    if (cfg_.scheme.merging == Merging::FMM)
+        logs_[r.proc].dropTask(id);
+
+    detector_.dropReader(id, r.readWords);
+
+    // Wake MultiT&SV stalls blocked on this task's version.
+    auto it = svWaiters_.find(id);
+    if (it != svWaiters_.end()) {
+        auto waiters = std::move(it->second);
+        svWaiters_.erase(it);
+        for (auto [proc, task] : waiters) {
+            cpu::Core &core = *cores_[proc];
+            if (core.state() == cpu::Core::State::StallStore &&
+                core.currentTask() == task) {
+                core.resumeStall();
+            }
+        }
+    }
+
+    ProcId owner = r.proc;
+    commitInProgress_ = false;
+    ++nextCommit_;
+    counters_.inc("commits");
+    maybeCommit();
+    if (!sectionDone_) {
+        tryDispatch(owner);
+        resumeOverflowWaiters();
+    }
+}
+
+void
+SpeculationEngine::resumeOverflowWaiters()
+{
+    if (overflowWaiters_.empty())
+        return;
+    auto waiters = std::move(overflowWaiters_);
+    overflowWaiters_.clear();
+    for (auto [proc, task] : waiters) {
+        cpu::Core &core = *cores_[proc];
+        if (core.state() == cpu::Core::State::StallStore &&
+            core.currentTask() == task) {
+            core.resumeStall();
+        }
+    }
+}
+
+/**
+ * The commit wavefront has crossed the current invocation's end: run
+ * the invocation barrier. Under Lazy AMM this is the final merge of
+ * the versions still in caches (the "diamonds" of Figure 6-(b)); then
+ * either the next invocation starts or the section ends.
+ */
+void
+SpeculationEngine::advanceInvocation()
+{
+    barrierActive_ = true;
+    Cycle finish = eq_.now();
+    if (cfg_.scheme.merging == Merging::LazyAMM) {
+        for (ProcId p = 0; p < numProcs(); ++p)
+            finish = std::max(finish, finalMergeProc(p, eq_.now()));
+        counters_.inc("barrier_merge_cycles", finish - eq_.now());
+    }
+    if (invocEnd_ >= workload_.numTasks()) {
+        sectionEnd_ = finish;
+        if (finish == eq_.now())
+            endSection();
+        else
+            eq_.schedule(finish, [this]() { endSection(); });
+        return;
+    }
+    if (finish == eq_.now()) {
+        releaseNextInvocation();
+    } else {
+        eq_.schedule(finish, [this]() { releaseNextInvocation(); });
+    }
+}
+
+void
+SpeculationEngine::releaseNextInvocation()
+{
+    barrierActive_ = false;
+    TaskId start = invocEnd_ + 1;
+    invocEnd_ = std::min<TaskId>(
+        workload_.numTasks(),
+        invocEnd_ + std::max<TaskId>(1, workload_.tasksPerInvocation()));
+    for (TaskId t = start; t <= invocEnd_; ++t)
+        scheduler_.requeue(t);
+    counters_.inc("invocations");
+    tryDispatchAll();
+}
+
+Cycle
+SpeculationEngine::finalMergeProc(ProcId proc, Cycle start)
+{
+    // Same pipelined-drain model as mergeTaskState, but sweeping all
+    // of this processor's committed-unmerged versions in parallel with
+    // the other processors' sweeps.
+    const mem::MachineParams &m = cfg_.machine;
+    Cycle issue = start;
+    Cycle oneway = 0;
+    versions_.forEach([&](Addr line, VersionInfo &v) {
+        if (!v.committed || v.inMemory || v.cacheOwner != proc)
+            return;
+        // Only the latest committed version of a line needs a
+        // write-back; earlier ones are invalidated by the VCL. Both
+        // cost a sweep step, but only the write-back travels.
+        VersionInfo *latest = versions_.latestCommitted(line);
+        issue += m.finalMergeGap;
+        if (v.inOverflow) {
+            // Versions in the overflow area have to be accessed
+            // eventually (paper Section 5.2): read from local memory.
+            issue += m.latLocalMem / 4;
+            memBanks_.access(proc % m.numBanks, start);
+        }
+        counters_.inc("final_merge_lines");
+        if (latest == &v) {
+            unsigned home = homeOf(line);
+            net_->traverse(start, proc % net_->numNodes(),
+                           home % net_->numNodes(), noc::MsgClass::Data);
+            memBanks_.access(home, start);
+            Cycle ow;
+            if (m.isNuma())
+                ow = (home == proc ? m.latLocalMem : m.latRemote2Hop) / 2;
+            else
+                ow = m.latL3 / 2;
+            oneway = std::max(oneway, ow);
+            mtid_.set(line, v.tag);
+            if (VersionInfo *old = versions_.memoryHolder(line)) {
+                if (old != &v)
+                    old->inMemory = false;
+            }
+            v.inMemory = true;
+        }
+        if (v.inOverflow) {
+            overflow_[proc].remove(line, v.tag);
+            v.inOverflow = false;
+        } else {
+            l2_[proc]->invalidateVersion(line, v.tag);
+            l1_[proc]->invalidateVersion(line, v.tag);
+        }
+        v.cacheOwner = kNoProc;
+    });
+    return issue + oneway;
+}
+
+void
+SpeculationEngine::endSection()
+{
+    sectionDone_ = true;
+    if (sectionEnd_ < eq_.now())
+        sectionEnd_ = eq_.now();
+    specTasksDelta(0); // close the integral
+    for (auto &core : cores_)
+        core->endSection();
+}
+
+// --------------------------------------------------------------------
+// Squash and recovery
+// --------------------------------------------------------------------
+
+void
+SpeculationEngine::performSquash(TaskId first_bad, ProcId writer_proc)
+{
+    (void)writer_proc;
+    ++squashEvents_;
+    counters_.inc("squash_events");
+
+    std::vector<TaskId> squashed;
+    for (TaskId t = first_bad; t <= workload_.numTasks(); ++t) {
+        if (rec(t).isSpeculativeState())
+            squashed.push_back(t);
+    }
+    if (squashed.empty())
+        return;
+    tasksSquashed_ += squashed.size();
+    counters_.inc("tasks_squashed", squashed.size());
+
+    // Remember owners before cleanup (records are reset by squashOne).
+    std::vector<ProcId> owner(squashed.size());
+    for (std::size_t i = 0; i < squashed.size(); ++i)
+        owner[i] = rec(squashed[i]).proc;
+
+    for (TaskId t : squashed)
+        squashOne(t);
+
+    if (cfg_.scheme.merging == Merging::FMM) {
+        // Recovery must replay MHB entries in strict reverse task
+        // order across the whole machine: queue descending and let
+        // the handlers run one after another.
+        for (std::size_t i = squashed.size(); i-- > 0;) {
+            recoveryQueue_.push_back(squashed[i]);
+            recoveryProc_[squashed[i]] = owner[i];
+            ++recoveryOutstanding_[owner[i]];
+            procInRecovery_[owner[i]] = true;
+        }
+        std::sort(recoveryQueue_.begin(), recoveryQueue_.end(),
+                  std::greater<TaskId>());
+        runRecoveryQueue();
+    } else {
+        // AMM: discarding the MROB state is quick, local and can
+        // proceed in parallel on every affected processor.
+        for (std::size_t i = 0; i < squashed.size(); ++i) {
+            scheduler_.requeue(squashed[i]);
+            scheduleAmmRecovery(owner[i], cfg_.machine.recoveryPerTask);
+        }
+        tryDispatchAll();
+    }
+}
+
+void
+SpeculationEngine::squashOne(TaskId id)
+{
+    TaskRecord &r = rec(id);
+    ProcId p = r.proc;
+    ++r.squashes;
+
+    if (r.state == TaskState::Running) {
+        cores_[p]->abortTask();
+    } else if (r.state == TaskState::Finished) {
+        if (uncommittedFinished_[p] == 0)
+            panic("squashOne: uncommittedFinished underflow");
+        --uncommittedFinished_[p];
+    } else {
+        panic("squashOne: task not speculative");
+    }
+    specTasksDelta(-1);
+
+    mem::VersionTag tag = r.tag();
+    for (Addr line : r.dirtyLines) {
+        l2_[p]->invalidateVersion(line, tag);
+        l1_[p]->invalidateVersion(line, tag);
+        overflow_[p].remove(line, tag);
+        versions_.remove(line, tag);
+    }
+
+    detector_.dropReader(id, r.readWords);
+    svWaiters_.erase(id);
+    r.resetFootprint();
+    r.state = TaskState::Pending;
+    r.proc = kNoProc;
+}
+
+void
+SpeculationEngine::scheduleAmmRecovery(ProcId proc, Cycle cycles)
+{
+    if (cycles == 0)
+        return;
+    pendingRecovery_[proc] += cycles;
+    procInRecovery_[proc] = true;
+    if (recoveryBlockActive_[proc])
+        return;
+    cpu::Core &core = *cores_[proc];
+    if (!core.idle())
+        panic("scheduleAmmRecovery: core not idle");
+    Cycle dur = pendingRecovery_[proc];
+    pendingRecovery_[proc] = 0;
+    recoveryBlockActive_[proc] = true;
+    core.startWorkBlock(dur, CycleKind::RecoveryWork, [this, proc]() {
+        recoveryBlockActive_[proc] = false;
+        if (pendingRecovery_[proc] > 0) {
+            Cycle more = pendingRecovery_[proc];
+            pendingRecovery_[proc] = 0;
+            scheduleAmmRecovery(proc, more);
+            return;
+        }
+        procInRecovery_[proc] = false;
+        tryDispatch(proc);
+    });
+}
+
+void
+SpeculationEngine::runRecoveryQueue()
+{
+    if (recoveryActive_ || recoveryQueue_.empty())
+        return;
+
+    TaskId id = recoveryQueue_.front();
+    ProcId proc = recoveryProc_.at(id);
+    cpu::Core &core = *cores_[proc];
+    if (!core.idle()) {
+        // The owner is running an unrelated (earlier, unsquashed)
+        // task: the recovery handler waits for the processor.
+        // procInRecovery_ keeps new work away; onTaskFinished re-polls
+        // the queue.
+        return;
+    }
+
+    recoveryQueue_.pop_front();
+    recoveryActive_ = true;
+    recoveryProc_.erase(id);
+
+    auto entries = logs_[proc].takeForRecovery(id);
+    counters_.inc("recovery_entries_replayed", entries.size());
+
+    // Replay: restore each overwritten version to main memory. The
+    // metadata effect is applied now; the handler's time is charged
+    // below.
+    for (const mem::UndoLogEntry &e : entries) {
+        mtid_.set(e.line, e.oldVersion);
+        if (VersionInfo *old = versions_.memoryHolder(e.line)) {
+            old->inMemory = false;
+        }
+        if (VersionInfo *v = versions_.find(e.line, e.oldVersion)) {
+            v->inMemory = true;
+        }
+    }
+
+    Cycle dur = 100 + Cycle(entries.size()) *
+                          cfg_.machine.recoveryPerLogEntry;
+    core.startWorkBlock(dur, CycleKind::RecoveryWork,
+                        [this, proc, id]() {
+        scheduler_.requeue(id);
+        if (recoveryOutstanding_[proc] == 0)
+            panic("recovery outstanding underflow");
+        if (--recoveryOutstanding_[proc] == 0)
+            procInRecovery_[proc] = false;
+        recoveryActive_ = false;
+        runRecoveryQueue();
+        tryDispatchAll();
+    });
+}
+
+RunResult
+SpeculationEngine::collectResult()
+{
+    RunResult res;
+    res.execTime = sectionEnd_;
+    for (auto &core : cores_) {
+        res.perProc.push_back(core->breakdown());
+        res.total += core->breakdown();
+    }
+    res.counters = counters_;
+    res.committedTasks = commitSamples_;
+    res.squashEvents = squashEvents_;
+    res.tasksSquashed = tasksSquashed_;
+    if (sectionEnd_ > 0) {
+        res.avgSpecTasksSystem = specTaskIntegral_ / double(sectionEnd_);
+        res.avgSpecTasksPerProc =
+            res.avgSpecTasksSystem / double(numProcs());
+    }
+    if (commitSamples_ > 0) {
+        res.avgWrittenKb = double(footprintWords_) * mem::kWordBytes /
+                           1024.0 / double(commitSamples_);
+        if (footprintWords_ > 0)
+            res.privFraction =
+                double(footprintPrivWords_) / double(footprintWords_);
+        double exec_mean = double(execDurSum_) / double(commitSamples_);
+        double commit_mean =
+            double(commitDurSum_) / double(commitSamples_);
+        if (exec_mean > 0)
+            res.commitExecRatio = commit_mean / exec_mean;
+    }
+    for (const TaskRecord &r : tasks_) {
+        TaskTimeline tl;
+        tl.id = r.id;
+        tl.proc = r.proc;
+        tl.execStart = r.execStart;
+        tl.execEnd = r.execEnd;
+        tl.commitStart = r.commitStart;
+        tl.commitEnd = r.commitEnd;
+        tl.squashes = r.squashes;
+        res.timelines.push_back(tl);
+    }
+    return res;
+}
+
+} // namespace tlsim::tls

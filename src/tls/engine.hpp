@@ -1,0 +1,212 @@
+/**
+ * @file
+ * SpeculationEngine: the speculative-versioning memory protocol, the
+ * commit-token arbiter, squash handling and recovery — specialized by
+ * a SchemeConfig to any point of the paper's taxonomy.
+ */
+
+#ifndef TLSIM_TLS_ENGINE_HPP
+#define TLSIM_TLS_ENGINE_HPP
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/event_queue.hpp"
+#include "common/stats.hpp"
+#include "cpu/core.hpp"
+#include "cpu/mem_if.hpp"
+#include "mem/cache.hpp"
+#include "mem/machine_params.hpp"
+#include "mem/memory_banks.hpp"
+#include "mem/mtid_table.hpp"
+#include "mem/overflow_area.hpp"
+#include "mem/undo_log.hpp"
+#include "noc/interconnect.hpp"
+#include "tls/run_result.hpp"
+#include "tls/scheduler.hpp"
+#include "tls/scheme.hpp"
+#include "tls/task.hpp"
+#include "tls/version_map.hpp"
+#include "tls/violation_detector.hpp"
+#include "tls/workload.hpp"
+
+namespace tlsim::tls {
+
+/** Engine configuration: one taxonomy point on one machine. */
+struct EngineConfig {
+    SchemeConfig scheme;
+    mem::MachineParams machine = mem::MachineParams::numa16();
+    /**
+     * Sequential baseline mode: one processor, no speculation
+     * machinery, all data homed locally (the paper's Tseq).
+     */
+    bool sequential = false;
+};
+
+/**
+ * Simulates one speculative section of a Workload under one scheme.
+ *
+ * Single-use: construct, run(), read the result.
+ */
+class SpeculationEngine : public cpu::SpecMemoryIf,
+                          public cpu::CoreListener
+{
+  public:
+    SpeculationEngine(const EngineConfig &cfg, Workload &workload);
+    ~SpeculationEngine() override;
+
+    /** Simulate the whole section and return its results. */
+    RunResult run();
+
+    /** @name cpu::SpecMemoryIf */
+    ///@{
+    cpu::LoadReply specLoad(ProcId proc, Addr addr, Cycle now) override;
+    cpu::StoreReply specStore(ProcId proc, Addr addr,
+                              Cycle now) override;
+    ///@}
+
+    /** @name cpu::CoreListener */
+    ///@{
+    void onTaskFinished(ProcId proc, TaskId task) override;
+    ///@}
+
+    const EngineConfig &config() const { return cfg_; }
+
+  private:
+    /** Where a needed version was found (timing classification). */
+    enum class Source {
+        L1,
+        L2,
+        LocalOverflow,
+        RemoteCache,
+        RemoteOverflow,
+        Memory,
+        Mhb
+    };
+
+    EngineConfig cfg_;
+    Workload &workload_;
+
+    EventQueue eq_;
+
+    // --- machine fabric ---
+    std::unique_ptr<noc::Interconnect> net_;
+    mem::MemoryBanks memBanks_;
+    mem::MemoryBanks l3Banks_; // CMP only
+    std::vector<Resource> l2Ports_;
+    std::vector<Resource> dirBanks_;
+
+    // --- per-processor state ---
+    std::vector<std::unique_ptr<cpu::Core>> cores_;
+    std::vector<std::unique_ptr<mem::VersionedCache>> l1_;
+    std::vector<std::unique_ptr<mem::VersionedCache>> l2_;
+    std::unique_ptr<mem::VersionedCache> l3_; // CMP shared
+    std::vector<mem::OverflowArea> overflow_;
+    std::vector<mem::UndoLog> logs_;
+
+    // --- speculation state ---
+    mem::MtidTable mtid_;
+    VersionMap versions_;
+    ViolationDetector detector_;
+    std::vector<TaskRecord> tasks_; // index id-1
+    TaskScheduler scheduler_;
+    TaskId nextCommit_ = 1;
+    bool commitInProgress_ = false;
+    bool sectionDone_ = false;
+    Cycle sectionEnd_ = 0;
+    /** Last task of the invocation currently executing. */
+    TaskId invocEnd_ = 0;
+    /** An invocation barrier (incl. its Lazy final merge) is active. */
+    bool barrierActive_ = false;
+
+    /** Finished-but-uncommitted tasks per processor (SingleT gate). */
+    std::vector<unsigned> uncommittedFinished_;
+
+    /** MultiT&SV stall waiters: blocking task -> (proc, stalled task). */
+    std::unordered_map<TaskId, std::vector<std::pair<ProcId, TaskId>>>
+        svWaiters_;
+    /** Overflow-stall waiters (no-overflow-area ablation). */
+    std::vector<std::pair<ProcId, TaskId>> overflowWaiters_;
+
+    /** FMM recovery queue (task IDs, descending) + active flag. */
+    std::deque<TaskId> recoveryQueue_;
+    bool recoveryActive_ = false;
+    /** Processors barred from dispatch until their recovery ends. */
+    std::vector<bool> procInRecovery_;
+    /** Outstanding recovery items per processor. */
+    std::vector<unsigned> recoveryOutstanding_;
+    /** AMM recovery cycles accumulated while a block is running. */
+    std::vector<Cycle> pendingRecovery_;
+    std::vector<bool> recoveryBlockActive_;
+    /** Squash-time owner of a task awaiting FMM recovery. */
+    std::unordered_map<TaskId, ProcId> recoveryProc_;
+
+    // --- statistics ---
+    CounterSet counters_;
+    std::uint64_t squashEvents_ = 0;
+    std::uint64_t tasksSquashed_ = 0;
+    // Time-weighted speculative-task integrals.
+    double specTaskIntegral_ = 0.0;
+    unsigned specTasksNow_ = 0;
+    Cycle specTasksSince_ = 0;
+    // Footprint sums over committed tasks.
+    std::uint64_t footprintWords_ = 0;
+    std::uint64_t footprintPrivWords_ = 0;
+    Cycle execDurSum_ = 0;
+    Cycle commitDurSum_ = 0;
+    std::uint64_t commitSamples_ = 0;
+
+    // --- helpers ---
+    TaskRecord &rec(TaskId id) { return tasks_[id - 1]; }
+    unsigned homeOf(Addr line) const { return cfg_.machine.homeOf(line); }
+    unsigned numProcs() const { return cfg_.machine.numProcs; }
+
+    void specTasksDelta(int delta);
+
+    void tryDispatch(ProcId proc);
+    void tryDispatchAll();
+
+    void maybeCommit();
+    void finishCommit(TaskId id);
+    Cycle mergeTaskState(TaskId id, Cycle start);
+    Cycle finalMergeProc(ProcId proc, Cycle start);
+    void advanceInvocation();
+    void releaseNextInvocation();
+    void endSection();
+
+    void performSquash(TaskId first_bad, ProcId writer_proc);
+    void squashOne(TaskId id);
+    void runRecoveryQueue();
+    void scheduleAmmRecovery(ProcId proc, Cycle cycles);
+    void resumeOverflowWaiters();
+    void vclMergeLine(Addr line, Cycle now);
+
+    /** Timing of a fetch of version @p v (nullptr = arch) into @p proc. */
+    Cycle fetchLatency(ProcId proc, Addr line, VersionInfo *v, Cycle now,
+                       Source *src_out);
+    /** Contention-charged round trip to the home directory. */
+    Cycle dirRoundTrip(ProcId proc, unsigned home, Cycle now,
+                       bool data_reply);
+    /** Background write-back of one line to its home (returns finish). */
+    Cycle backgroundWriteBack(ProcId proc, Addr line, Cycle when);
+
+    /** @return extra foreground cycles (overflow spill handling). */
+    Cycle insertLineL2(ProcId proc, const mem::CacheLineState &line,
+                       Cycle now, bool *stall_overflow);
+    void handleL2Eviction(ProcId proc, const mem::CacheLineState &victim,
+                          Cycle now);
+    void insertLineL1(ProcId proc, Addr line, mem::VersionTag tag,
+                      Cycle now);
+
+    cpu::LoadReply seqLoad(ProcId proc, Addr addr, Cycle now);
+    cpu::StoreReply seqStore(ProcId proc, Addr addr, Cycle now);
+
+    RunResult collectResult();
+};
+
+} // namespace tlsim::tls
+
+#endif // TLSIM_TLS_ENGINE_HPP

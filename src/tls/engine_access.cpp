@@ -1,0 +1,688 @@
+/**
+ * @file
+ * SpeculationEngine load/store paths: version lookup and fetch timing,
+ * cache insertion and displacement handling (overflow area, VCL,
+ * MTID-guarded write-backs), and the sequential-baseline paths.
+ */
+
+#include <algorithm>
+
+#include "common/log.hpp"
+#include "mem/geometry.hpp"
+#include "tls/engine.hpp"
+
+namespace tlsim::tls {
+
+using mem::CacheLineState;
+using mem::VersionTag;
+
+// --------------------------------------------------------------------
+// Timing helpers
+// --------------------------------------------------------------------
+
+Cycle
+SpeculationEngine::dirRoundTrip(ProcId proc, unsigned home, Cycle now,
+                                bool data_reply)
+{
+    // All reservations are made at the request's arrival time: the
+    // intra-access offsets (tens of cycles) are far below contention
+    // timescales, and reserving at future instants would leave phantom
+    // idle gaps in the single-horizon Resource model.
+    unsigned nodes = net_->numNodes();
+    Cycle d = net_->traverse(now, proc % nodes, home % nodes,
+                             noc::MsgClass::Control);
+    d += dirBanks_[home % dirBanks_.size()].acquire(
+        now, cfg_.machine.occDirBank);
+    d += net_->traverse(now, home % nodes, proc % nodes,
+                        data_reply ? noc::MsgClass::Data
+                                   : noc::MsgClass::Control);
+    return d;
+}
+
+Cycle
+SpeculationEngine::backgroundWriteBack(ProcId proc, Addr line, Cycle when)
+{
+    unsigned nodes = net_->numNodes();
+    unsigned home = homeOf(line);
+    Cycle t = when;
+    t += net_->traverse(when, proc % nodes, home % nodes,
+                        noc::MsgClass::Data);
+    t += memBanks_.access(home, when);
+    return t;
+}
+
+Cycle
+SpeculationEngine::fetchLatency(ProcId proc, Addr line, VersionInfo *v,
+                                Cycle now, Source *src_out)
+{
+    const mem::MachineParams &m = cfg_.machine;
+    unsigned nodes = net_->numNodes();
+    unsigned home = homeOf(line);
+    Cycle lat = 0;
+    Source src = Source::Memory;
+
+    if (m.isNuma()) {
+        if (!v || v->inMemory) {
+            if (home == proc) {
+                lat = m.latLocalMem;
+                lat += dirBanks_[home % dirBanks_.size()].acquire(
+                    now, m.occDirBank);
+            } else {
+                lat = m.latRemote2Hop;
+                lat += dirRoundTrip(proc, home, now, true);
+            }
+            lat += memBanks_.access(home, now);
+            src = Source::Memory;
+            counters_.inc("memory_fetches");
+        } else if (v->cacheOwner != kNoProc) {
+            ProcId q = v->cacheOwner;
+            if (q == proc) {
+                if (!v->inOverflow)
+                    panic("fetchLatency: version claims to be in own L2 "
+                          "but lookup missed");
+                lat = m.latLocalMem + memBanks_.access(proc, now);
+                src = Source::LocalOverflow;
+                counters_.inc("overflow_fetches");
+            } else {
+                bool three_hop = (home != proc && home != q);
+                lat = three_hop ? m.latRemote3Hop : m.latRemote2Hop;
+                lat += net_->traverse(now, proc % nodes, home % nodes,
+                                      noc::MsgClass::Control);
+                lat += dirBanks_[home % dirBanks_.size()].acquire(
+                    now, m.occDirBank);
+                lat += net_->traverse(now, home % nodes, q % nodes,
+                                      noc::MsgClass::Control);
+                lat += net_->traverse(now, q % nodes, proc % nodes,
+                                      noc::MsgClass::Data);
+                if (v->inOverflow) {
+                    lat += m.latLocalMem / 2 + memBanks_.access(q, now);
+                    src = Source::RemoteOverflow;
+                    counters_.inc("overflow_fetches");
+                } else {
+                    lat += l2Ports_[q].acquire(now, m.occL2Port);
+                    src = Source::RemoteCache;
+                    counters_.inc("remote_cache_fetches");
+                }
+            }
+        } else if (v->inMhb) {
+            // "Rare retrieval" from a log structure: locate the entry
+            // in the owner's log region and read it from memory.
+            lat = m.latRemote3Hop + m.latLocalMem;
+            lat += memBanks_.access(v->mhbProc, now);
+            lat += memBanks_.access(v->mhbProc, now);
+            src = Source::Mhb;
+            counters_.inc("mhb_fetches");
+        } else {
+            panic("fetchLatency: unreachable version");
+        }
+    } else { // CMP
+        if (!v || v->inMemory) {
+            VersionTag tag = v ? v->tag : VersionTag::arch();
+            lat = net_->traverse(now, proc % nodes, home % nodes,
+                                 noc::MsgClass::Control);
+            lat += dirBanks_[home % dirBanks_.size()].acquire(
+                now, m.occDirBank);
+            if (CacheLineState *f3 = l3_->findVersion(line, tag)) {
+                f3->lastUse = now;
+                lat += m.latL3 + l3Banks_.access(home, now);
+                counters_.inc("l3_hits");
+            } else {
+                lat += m.latLocalMem + memBanks_.access(home, now);
+                CacheLineState cl;
+                cl.line = line;
+                cl.version = tag;
+                l3_->insert(cl, now);
+                counters_.inc("memory_fetches");
+            }
+            lat += net_->traverse(now, home % nodes, proc % nodes,
+                                  noc::MsgClass::Data);
+            src = Source::Memory;
+        } else if (v->cacheOwner != kNoProc) {
+            ProcId q = v->cacheOwner;
+            if (v->inOverflow) {
+                lat = m.latLocalMem + memBanks_.access(home, now);
+                src = q == proc ? Source::LocalOverflow
+                                : Source::RemoteOverflow;
+                counters_.inc("overflow_fetches");
+            } else if (q == proc) {
+                panic("fetchLatency: version claims to be in own L2 "
+                      "but lookup missed");
+            } else {
+                lat = m.latOtherL2;
+                lat += net_->traverse(now, proc % nodes, q % nodes,
+                                      noc::MsgClass::Control);
+                lat += l2Ports_[q].acquire(now, m.occL2Port);
+                lat += net_->traverse(now, q % nodes, proc % nodes,
+                                      noc::MsgClass::Data);
+                src = Source::RemoteCache;
+                counters_.inc("remote_cache_fetches");
+            }
+        } else if (v->inMhb) {
+            lat = m.latLocalMem + m.latLocalMem / 2;
+            lat += memBanks_.access(home, now);
+            src = Source::Mhb;
+            counters_.inc("mhb_fetches");
+        } else {
+            panic("fetchLatency: unreachable version");
+        }
+    }
+
+    if (src_out)
+        *src_out = src;
+    return lat;
+}
+
+// --------------------------------------------------------------------
+// Cache insertion / displacement
+// --------------------------------------------------------------------
+
+void
+SpeculationEngine::insertLineL1(ProcId proc, Addr line, VersionTag tag,
+                                Cycle now)
+{
+    CacheLineState cl;
+    cl.line = line;
+    cl.version = tag;
+    l1_[proc]->insert(cl, now); // L1 victims are clean replicas
+}
+
+Cycle
+SpeculationEngine::insertLineL2(ProcId proc, const CacheLineState &want,
+                                Cycle now, bool *stall_overflow)
+{
+    bool pin = cfg_.scheme.isAmm() && !cfg_.machine.overflowArea;
+    mem::InsertResult res = l2_[proc]->insert(want, now, pin);
+    if (!res.frame) {
+        if (stall_overflow)
+            *stall_overflow = true;
+        // Otherwise: replica allocation failed against pinned lines;
+        // serve uncached, nothing to do.
+        return 0;
+    }
+    if (res.evicted) {
+        bool spec_victim = res.victim.dirty && res.victim.speculative;
+        handleL2Eviction(proc, res.victim, now);
+        if (spec_victim && cfg_.scheme.isAmm()) {
+            // The controller finishes the overflow spill (update the
+            // overflow tables in local memory) before the new line can
+            // fill: foreground cost for the displacing access.
+            return cfg_.machine.overflowCheckCycles;
+        }
+    }
+    return 0;
+}
+
+void
+SpeculationEngine::handleL2Eviction(ProcId proc,
+                                    const CacheLineState &victim,
+                                    Cycle now)
+{
+    // The matching L1 copy must not outlive the L2 line (inclusion).
+    l1_[proc]->invalidateVersion(victim.line, victim.version);
+
+    if (!victim.dirty && !victim.committedDirty)
+        return; // clean replica: silent drop
+
+    Addr line = victim.line;
+
+    if (cfg_.sequential || victim.version.isArch()) {
+        // Plain dirty data: background write-back to local memory.
+        memBanks_.access(proc % cfg_.machine.numBanks, now);
+        return;
+    }
+
+    if (victim.committedDirty) {
+        if (cfg_.scheme.merging == Merging::LazyAMM) {
+            counters_.inc("vcl_displacements");
+            vclMergeLine(line, now);
+        } else if (cfg_.scheme.merging == Merging::FMM) {
+            VersionInfo *v = versions_.find(line, victim.version);
+            if (mtid_.wouldAccept(line, victim.version)) {
+                if (VersionInfo *old = versions_.memoryHolder(line))
+                    old->inMemory = false;
+                mtid_.writeBack(line, victim.version);
+                backgroundWriteBack(proc, line, now);
+                if (v) {
+                    v->inMemory = true;
+                    v->cacheOwner = kNoProc;
+                    v->inOverflow = false;
+                }
+                counters_.inc("fmm_writebacks");
+            } else {
+                mtid_.writeBack(line, victim.version); // counts reject
+                // Superseded committed version: dead, drop it.
+                versions_.remove(line, victim.version);
+            }
+        }
+        // Eager AMM: committed lines were cleaned at merge; nothing.
+        return;
+    }
+
+    // Speculative dirty victim.
+    VersionInfo *v = versions_.find(line, victim.version);
+    if (!v)
+        return; // squashed concurrently
+
+    if (cfg_.scheme.isAmm()) {
+        overflow_[proc].put(line, victim.version, victim.writeMask);
+        v->inOverflow = true;
+        memBanks_.access(proc % cfg_.machine.numBanks, now);
+        counters_.inc("overflow_spills");
+    } else {
+        if (mtid_.wouldAccept(line, victim.version)) {
+            if (VersionInfo *old = versions_.memoryHolder(line))
+                old->inMemory = false;
+            mtid_.writeBack(line, victim.version);
+            backgroundWriteBack(proc, line, now);
+            v->inMemory = true;
+            v->cacheOwner = kNoProc;
+            counters_.inc("fmm_writebacks");
+        } else {
+            // Memory already holds a later version: the line must not
+            // vanish while its task is alive. Park it in the owner's
+            // spill region (see DESIGN.md).
+            mtid_.writeBack(line, victim.version); // counts reject
+            overflow_[proc].put(line, victim.version, victim.writeMask);
+            v->inOverflow = true;
+            counters_.inc("mtid_rejected_spills");
+        }
+    }
+}
+
+void
+SpeculationEngine::vclMergeLine(Addr line, Cycle now)
+{
+    VersionInfo *latest = versions_.latestCommitted(line);
+    if (!latest)
+        return;
+    VersionTag keep = latest->tag;
+
+    if (!latest->inMemory) {
+        if (VersionInfo *old = versions_.memoryHolder(line)) {
+            if (old != latest)
+                old->inMemory = false;
+        }
+        ProcId owner = latest->cacheOwner;
+        if (owner != kNoProc) {
+            if (latest->inOverflow)
+                overflow_[owner].remove(line, keep);
+            else {
+                l2_[owner]->invalidateVersion(line, keep);
+                l1_[owner]->invalidateVersion(line, keep);
+            }
+            backgroundWriteBack(owner, line, now);
+        }
+        latest->inMemory = true;
+        latest->cacheOwner = kNoProc;
+        latest->inOverflow = false;
+        mtid_.set(line, keep);
+        counters_.inc("vcl_writebacks");
+    }
+
+    // Earlier committed versions are superseded and dead: invalidate
+    // their copies and drop them.
+    std::vector<VersionTag> dead;
+    for (auto &vv : versions_.versionsOf(line)) {
+        if (vv.committed && !(vv.tag == keep)) {
+            if (vv.cacheOwner != kNoProc) {
+                if (vv.inOverflow)
+                    overflow_[vv.cacheOwner].remove(line, vv.tag);
+                else {
+                    l2_[vv.cacheOwner]->invalidateVersion(line, vv.tag);
+                    l1_[vv.cacheOwner]->invalidateVersion(line, vv.tag);
+                }
+            }
+            dead.push_back(vv.tag);
+        }
+    }
+    for (VersionTag tag : dead) {
+        versions_.remove(line, tag);
+        counters_.inc("vcl_invalidations");
+    }
+}
+
+// --------------------------------------------------------------------
+// Speculative access paths
+// --------------------------------------------------------------------
+
+cpu::LoadReply
+SpeculationEngine::specLoad(ProcId proc, Addr addr, Cycle now)
+{
+    if (cfg_.sequential)
+        return seqLoad(proc, addr, now);
+
+    counters_.inc("loads");
+    const mem::MachineParams &m = cfg_.machine;
+    TaskId task = cores_[proc]->currentTask();
+    Addr line = mem::lineAddr(addr);
+    // Violation detection granularity: word (paper) or whole line.
+    Addr word = m.wordGranularityDetection ? mem::wordAddr(addr)
+                                           : mem::lineAddr(addr);
+
+    VersionInfo *v = versions_.latestVisible(line, task);
+    VersionTag tag = v ? v->tag : VersionTag::arch();
+
+    Cycle lat;
+    if (CacheLineState *f1 = l1_[proc]->findVersion(line, tag)) {
+        f1->lastUse = now;
+        lat = m.latL1;
+        counters_.inc("l1_hits");
+    } else if (CacheLineState *f2 = l2_[proc]->findVersion(line, tag)) {
+        f2->lastUse = now;
+        lat = m.latL2 + l2Ports_[proc].acquire(now, m.occL2Port);
+        insertLineL1(proc, line, tag, now);
+        counters_.inc("l2_hits");
+    } else {
+        Source src;
+        lat = fetchLatency(proc, line, v, now, &src);
+        // While speculative state has spilled, AMM misses must also
+        // consult the overflow-area tables in local memory.
+        if (cfg_.scheme.isAmm() && overflow_[proc].size() > 0) {
+            lat += m.overflowCheckCycles;
+            memBanks_.access(proc % m.numBanks, now);
+            counters_.inc("overflow_checks");
+        }
+        // Lazy AMM: an external request for a committed version makes
+        // the VCL merge the line with memory.
+        if (v && cfg_.scheme.merging == Merging::LazyAMM &&
+            v->committed && !v->inMemory && src == Source::RemoteCache) {
+            vclMergeLine(line, now);
+            v = versions_.find(line, tag); // may have been re-homed
+        }
+        bool allocate = true;
+        if (!l2_[proc]->multiVersion()) {
+            if (CacheLineState *res = l2_[proc]->findAnyOf(line)) {
+                if ((res->dirty || res->committedDirty) &&
+                    !(res->version == tag)) {
+                    allocate = false; // cannot displace live state
+                }
+            }
+        }
+        if (allocate) {
+            CacheLineState cl;
+            cl.line = line;
+            cl.version = tag;
+            lat += insertLineL2(proc, cl, now, nullptr);
+            insertLineL1(proc, line, tag, now);
+        }
+    }
+
+    TaskRecord &r = rec(task);
+    if (r.readWords.insert(word).second) {
+        TaskId observed =
+            m.wordGranularityDetection
+                ? versions_.latestWordWriter(line, mem::wordBit(addr),
+                                             task)
+                : (versions_.latestVisible(line, task)
+                       ? versions_.latestVisible(line, task)
+                             ->tag.producer
+                       : 0);
+        detector_.noteRead(word, task, observed);
+    }
+    return {lat};
+}
+
+cpu::StoreReply
+SpeculationEngine::specStore(ProcId proc, Addr addr, Cycle now)
+{
+    if (cfg_.sequential)
+        return seqStore(proc, addr, now);
+
+    counters_.inc("stores");
+    const mem::MachineParams &m = cfg_.machine;
+    TaskId task = cores_[proc]->currentTask();
+    TaskRecord &r = rec(task);
+    Addr line = mem::lineAddr(addr);
+    Addr word = m.wordGranularityDetection ? mem::wordAddr(addr)
+                                           : mem::lineAddr(addr);
+    std::uint8_t bit = mem::wordBit(addr);
+
+    // Out-of-order RAW detection: the store's invalidation/update
+    // reaches the directory and squashes any premature readers.
+    TaskId victim = detector_.checkWrite(word, task);
+    if (victim != kNoTask)
+        performSquash(victim, proc);
+
+    VersionTag my_tag = r.tag();
+    VersionInfo *own = versions_.find(line, my_tag);
+    Addr stat_word = mem::wordAddr(addr); // footprint statistics
+    auto note_write = [&]() {
+        if (r.writtenWords.insert(stat_word).second &&
+            workload_.isPrivAddr(addr)) {
+            ++r.privWords;
+        }
+    };
+
+    if (own) {
+        // Subsequent store to a line this task already versioned.
+        own->writeMask |= bit;
+        Cycle lat;
+        if (CacheLineState *f1 = l1_[proc]->findVersion(line, my_tag)) {
+            f1->lastUse = now;
+            f1->writeMask |= bit;
+            if (CacheLineState *f2 = l2_[proc]->findVersion(line, my_tag))
+                f2->writeMask |= bit;
+            lat = m.latL1;
+        } else if (CacheLineState *f2 =
+                       l2_[proc]->findVersion(line, my_tag)) {
+            f2->lastUse = now;
+            f2->writeMask |= bit;
+            lat = m.latL2 + l2Ports_[proc].acquire(now, m.occL2Port);
+            insertLineL1(proc, line, my_tag, now);
+        } else if (own->inOverflow) {
+            // Bring the spilled version back into the L2.
+            lat = m.latLocalMem +
+                  memBanks_.access(proc % m.numBanks, now);
+            overflow_[proc].remove(line, my_tag);
+            own->inOverflow = false;
+            counters_.inc("overflow_refetches");
+            CacheLineState cl;
+            cl.line = line;
+            cl.version = my_tag;
+            cl.dirty = true;
+            cl.speculative = true;
+            cl.writeMask = own->writeMask;
+            insertLineL2(proc, cl, now, nullptr);
+            insertLineL1(proc, line, my_tag, now);
+        } else if (own->inMemory) {
+            // FMM: our version was displaced to main memory; refetch.
+            Source src;
+            lat = fetchLatency(proc, line, own, now, &src);
+            own = versions_.find(line, my_tag);
+            own->cacheOwner = proc;
+            CacheLineState cl;
+            cl.line = line;
+            cl.version = my_tag;
+            cl.dirty = true;
+            cl.speculative = true;
+            cl.writeMask = own->writeMask;
+            insertLineL2(proc, cl, now, nullptr);
+            insertLineL1(proc, line, my_tag, now);
+            counters_.inc("fmm_refetches");
+        } else {
+            panic("specStore: own version unreachable");
+        }
+        note_write();
+        return {lat, cpu::StoreStall::None, 0};
+    }
+
+    // ---- create a new version ----
+
+    if (!cfg_.scheme.multiVersion()) {
+        // MultiT&SV (and, defensively, SingleT): stall on a second
+        // local speculative version of the same variable.
+        for (auto &vv : versions_.versionsOf(line)) {
+            if (vv.cacheOwner == proc && !vv.committed &&
+                vv.tag.producer != task) {
+                svWaiters_[vv.tag.producer].push_back({proc, task});
+                counters_.inc("sv_stalls");
+                return {0, cpu::StoreStall::SecondVersion, 0};
+            }
+        }
+    }
+
+    bool pin = cfg_.scheme.isAmm() && !m.overflowArea;
+    bool write_through_nonspec = false;
+    if (pin && !l2_[proc]->canInsert(line, true)) {
+        if (task == nextCommit_) {
+            // The non-speculative task may update memory directly.
+            write_through_nonspec = true;
+        } else {
+            overflowWaiters_.push_back({proc, task});
+            counters_.inc("overflow_stalls");
+            return {0, cpu::StoreStall::Overflow, 0};
+        }
+    }
+
+    // Create the version without a read-for-ownership fetch: the line
+    // is allocated with a word mask and later reads combine versions
+    // (the SVC/Prvulovic01 write-validate style). Only the home
+    // directory must learn about the new version.
+    VersionInfo *prev = versions_.latestVisible(line, task);
+    VersionTag prev_tag = prev ? prev->tag : VersionTag::arch();
+    std::uint8_t prev_mask = prev ? prev->writeMask : 0;
+    unsigned home = homeOf(line);
+    Cycle fill;
+    if (m.isNuma()) {
+        fill = (home == proc ? m.latLocalMem : m.latRemote2Hop) / 2;
+    } else {
+        fill = m.latL3 / 2; // on-chip directory bank round trip
+    }
+    fill += dirRoundTrip(proc, home, now, false);
+
+    std::uint32_t extra_instrs = 0;
+    if (cfg_.scheme.merging == Merging::FMM) {
+        // MHB: save the most recent earlier version before creating
+        // our own (Figure 7-c).
+        mem::UndoLogEntry e;
+        e.line = line;
+        e.oldVersion = prev_tag;
+        e.oldMask = prev_mask;
+        e.overwriting = task;
+        logs_[proc].append(task, e);
+        counters_.inc("log_appends");
+        if (prev) {
+            prev->inMhb = true;
+            prev->mhbProc = proc;
+        }
+        if (cfg_.scheme.softwareLog) {
+            // Garzaran01: plain instructions save the old version.
+            extra_instrs = m.swLogInstrPerEntry;
+        } else {
+            // Zhang99&T: the hardware log drains to local memory in
+            // the background; extra bank occupancy, no processor time.
+            memBanks_.access(proc % m.numBanks, now);
+        }
+    }
+
+    VersionInfo &nv = versions_.create(line, my_tag, proc);
+    nv.writeMask = bit;
+    r.noteDirtyLine(line);
+    note_write();
+
+    Cycle lat = fill;
+    if (cfg_.scheme.isAmm() && overflow_[proc].size() > 0) {
+        // The new version's line address must be checked against the
+        // overflow-area tables.
+        lat += m.overflowCheckCycles;
+        memBanks_.access(proc % m.numBanks, now);
+        counters_.inc("overflow_checks");
+    }
+    if (write_through_nonspec) {
+        nv.cacheOwner = kNoProc;
+        if (VersionInfo *old = versions_.memoryHolder(line)) {
+            old->inMemory = false;
+        }
+        nv.inMemory = true;
+        mtid_.set(line, my_tag);
+        lat += m.latLocalMem / 2 + memBanks_.access(homeOf(line), now);
+        counters_.inc("nonspec_writethroughs");
+    } else {
+        CacheLineState cl;
+        cl.line = line;
+        cl.version = my_tag;
+        cl.dirty = true;
+        cl.speculative = true;
+        cl.writeMask = bit;
+        lat += insertLineL2(proc, cl, now, nullptr);
+        insertLineL1(proc, line, my_tag, now);
+        counters_.inc("versions_created");
+    }
+    return {lat, cpu::StoreStall::None, extra_instrs};
+}
+
+// --------------------------------------------------------------------
+// Sequential baseline
+// --------------------------------------------------------------------
+
+cpu::LoadReply
+SpeculationEngine::seqLoad(ProcId proc, Addr addr, Cycle now)
+{
+    const mem::MachineParams &m = cfg_.machine;
+    Addr line = mem::lineAddr(addr);
+    VersionTag arch = VersionTag::arch();
+
+    if (CacheLineState *f1 = l1_[proc]->findVersion(line, arch)) {
+        f1->lastUse = now;
+        return {m.latL1};
+    }
+    if (CacheLineState *f2 = l2_[proc]->findVersion(line, arch)) {
+        f2->lastUse = now;
+        insertLineL1(proc, line, arch, now);
+        return {m.latL2 + l2Ports_[proc].acquire(now, m.occL2Port)};
+    }
+    Cycle lat;
+    if (l3_) {
+        unsigned home = homeOf(line);
+        if (CacheLineState *f3 = l3_->findVersion(line, arch)) {
+            f3->lastUse = now;
+            lat = m.latL3 + l3Banks_.access(home, now);
+        } else {
+            lat = m.latLocalMem + memBanks_.access(home, now);
+            CacheLineState cl;
+            cl.line = line;
+            cl.version = arch;
+            l3_->insert(cl, now);
+        }
+    } else {
+        // Sequential baseline: all data in the local memory module.
+        lat = m.latLocalMem + memBanks_.access(proc % m.numBanks, now);
+    }
+    CacheLineState cl;
+    cl.line = line;
+    cl.version = arch;
+    insertLineL2(proc, cl, now, nullptr);
+    insertLineL1(proc, line, arch, now);
+    return {lat};
+}
+
+cpu::StoreReply
+SpeculationEngine::seqStore(ProcId proc, Addr addr, Cycle now)
+{
+    const mem::MachineParams &m = cfg_.machine;
+    Addr line = mem::lineAddr(addr);
+    VersionTag arch = VersionTag::arch();
+    TaskId task = cores_[proc]->currentTask();
+    TaskRecord &r = rec(task);
+    Addr word = mem::wordAddr(addr);
+    if (r.writtenWords.insert(word).second && workload_.isPrivAddr(addr))
+        ++r.privWords;
+
+    Cycle lat;
+    CacheLineState *f2 = l2_[proc]->findVersion(line, arch);
+    if (l1_[proc]->findVersion(line, arch) && f2) {
+        lat = m.latL1;
+    } else if (f2) {
+        lat = m.latL2 + l2Ports_[proc].acquire(now, m.occL2Port);
+        insertLineL1(proc, line, arch, now);
+    } else {
+        cpu::LoadReply fill = seqLoad(proc, addr, now); // write-allocate
+        lat = fill.latency;
+        f2 = l2_[proc]->findVersion(line, arch);
+    }
+    if (f2)
+        f2->dirty = true;
+    return {lat, cpu::StoreStall::None, 0};
+}
+
+} // namespace tlsim::tls

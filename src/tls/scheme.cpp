@@ -1,0 +1,170 @@
+#include "tls/scheme.hpp"
+
+namespace tlsim::tls {
+
+const char *
+separationName(Separation s)
+{
+    switch (s) {
+      case Separation::SingleT: return "SingleT";
+      case Separation::MultiTSV: return "MultiT&SV";
+      case Separation::MultiTMV: return "MultiT&MV";
+    }
+    return "?";
+}
+
+const char *
+mergingName(Merging m)
+{
+    switch (m) {
+      case Merging::EagerAMM: return "Eager AMM";
+      case Merging::LazyAMM: return "Lazy AMM";
+      case Merging::FMM: return "FMM";
+    }
+    return "?";
+}
+
+unsigned
+SupportSet::count() const
+{
+    unsigned n = 0;
+    for (std::uint8_t b = bits_; b; b &= b - 1)
+        ++n;
+    return n;
+}
+
+std::string
+SupportSet::toString() const
+{
+    if (bits_ == 0)
+        return "none";
+    std::string out;
+    auto add = [&](Support s, const char *name) {
+        if (has(s)) {
+            if (!out.empty())
+                out += "+";
+            out += name;
+        }
+    };
+    add(kCTID, "CTID");
+    add(kCRL, "CRL");
+    add(kMTID, "MTID");
+    add(kVCL, "VCL");
+    add(kULOG, "ULOG");
+    return out;
+}
+
+const char *
+supportDescription(Support s)
+{
+    switch (s) {
+      case kCTID:
+        return "Storage and checking logic for a task-ID field in each "
+               "cache line";
+      case kCRL:
+        return "Advanced logic in the cache to service external requests "
+               "for versions";
+      case kMTID:
+        return "Task ID for each speculative variable in memory and "
+               "needed comparison logic";
+      case kVCL:
+        return "Logic for combining/invalidating committed versions";
+      case kULOG:
+        return "Logic and storage to support logging";
+    }
+    return "?";
+}
+
+const std::vector<Support> &
+allSupports()
+{
+    static const std::vector<Support> kAll = {kCTID, kCRL, kMTID, kVCL,
+                                              kULOG};
+    return kAll;
+}
+
+std::string
+SchemeConfig::name() const
+{
+    std::string out = separationName(separation);
+    out += " ";
+    if (merging == Merging::FMM)
+        out += softwareLog ? "FMM.Sw" : "FMM";
+    else
+        out += mergingName(merging);
+    return out;
+}
+
+SupportSet
+SchemeConfig::requiredSupports() const
+{
+    // Section 3.3 / Table 2. The VCL-vs-MTID alternative for laziness
+    // is resolved as the paper's Table 2 does: Lazy AMM lists
+    // "CTID and (VCL or MTID)"; we report VCL (the less complex one,
+    // per Section 3.3.5), and FMM uses MTID.
+    SupportSet s;
+    if (separation != Separation::SingleT || merging != Merging::EagerAMM)
+        s = s.with(kCTID);
+    if (separation == Separation::MultiTMV)
+        s = s.with(kCRL);
+    if (merging == Merging::LazyAMM)
+        s = s.with(kVCL);
+    if (merging == Merging::FMM) {
+        // FMM needs CTID even under SingleT (Section 3.3.4).
+        s = s.with(kCTID).with(kMTID);
+        if (!softwareLog)
+            s = s.with(kULOG);
+    }
+    return s;
+}
+
+std::vector<SchemeConfig>
+SchemeConfig::evaluatedSchemes()
+{
+    return {
+        make(Separation::SingleT, Merging::EagerAMM),
+        make(Separation::SingleT, Merging::LazyAMM),
+        make(Separation::MultiTSV, Merging::EagerAMM),
+        make(Separation::MultiTSV, Merging::LazyAMM),
+        make(Separation::MultiTMV, Merging::EagerAMM),
+        make(Separation::MultiTMV, Merging::LazyAMM),
+        make(Separation::MultiTMV, Merging::FMM),
+        make(Separation::MultiTMV, Merging::FMM, true),
+    };
+}
+
+const std::vector<PublishedScheme> &
+publishedSchemes()
+{
+    // Figure 4 of the paper.
+    static const std::vector<PublishedScheme> kAtlas = {
+        {"Multiscalar (hierarchical ARB)", Separation::SingleT,
+         Merging::EagerAMM, false, false},
+        {"Superthreaded", Separation::SingleT, Merging::EagerAMM, false,
+         false},
+        {"MDT", Separation::SingleT, Merging::EagerAMM, false, false},
+        {"Marcuello99", Separation::SingleT, Merging::EagerAMM, false,
+         false},
+        {"Multiscalar (SVC)", Separation::SingleT, Merging::LazyAMM,
+         false, false},
+        {"DDSM", Separation::SingleT, Merging::EagerAMM, true, false},
+        {"Steffan97&00 (SV design)", Separation::MultiTSV,
+         Merging::EagerAMM, false, false},
+        {"Hydra", Separation::MultiTMV, Merging::EagerAMM, false, false},
+        {"Steffan97&00", Separation::MultiTMV, Merging::EagerAMM, false,
+         false},
+        {"Cintra00", Separation::MultiTMV, Merging::EagerAMM, false,
+         false},
+        {"Prvulovic01", Separation::MultiTMV, Merging::LazyAMM, false,
+         false},
+        {"Zhang99&T", Separation::MultiTMV, Merging::FMM, false, false},
+        {"Garzaran01", Separation::MultiTMV, Merging::FMM, false, false},
+        {"LRPD (coarse recovery)", Separation::SingleT, Merging::FMM,
+         false, true},
+        {"SUDS (coarse recovery)", Separation::SingleT, Merging::FMM,
+         false, true},
+    };
+    return kAtlas;
+}
+
+} // namespace tlsim::tls

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * The paper's taxonomy (Figure 2-a) as a configuration type, plus the
+ * support-requirement model of Tables 1 and 2.
+ */
+
+#ifndef TLSIM_TLS_SCHEME_HPP
+#define TLSIM_TLS_SCHEME_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tlsim::tls {
+
+/** Vertical axis: separation of task state in a processor's buffer. */
+enum class Separation : std::uint8_t {
+    SingleT,  ///< state of a single speculative task at a time
+    MultiTSV, ///< multiple tasks, single version of any variable
+    MultiTMV  ///< multiple tasks and multiple versions of a variable
+};
+
+/** Horizontal axis: merging of task state with main memory. */
+enum class Merging : std::uint8_t {
+    EagerAMM, ///< merge strictly at task commit
+    LazyAMM,  ///< merge at or after commit (architectural main memory)
+    FMM       ///< merge any time (future main memory + history buffer)
+};
+
+const char *separationName(Separation s);
+const char *mergingName(Merging m);
+
+/**
+ * Hardware supports of Table 1 (bitmask values).
+ */
+enum Support : std::uint8_t {
+    kCTID = 1 << 0, ///< Cache Task ID: task-ID field per cache line
+    kCRL = 1 << 1,  ///< Cache Retrieval Logic: version selection in cache
+    kMTID = 1 << 2, ///< Memory Task ID: task-ID tags + compare in memory
+    kVCL = 1 << 3,  ///< Version Combining Logic for committed versions
+    kULOG = 1 << 4  ///< hardware undo log (MHB storage + logic)
+};
+
+/** A set of supports. */
+class SupportSet
+{
+  public:
+    SupportSet() = default;
+    explicit SupportSet(std::uint8_t bits) : bits_(bits) {}
+
+    bool has(Support s) const { return bits_ & s; }
+    SupportSet with(Support s) const { return SupportSet(bits_ | s); }
+    std::uint8_t bits() const { return bits_; }
+
+    /** Number of distinct supports. */
+    unsigned count() const;
+
+    /** e.g. "CTID+CRL+VCL"; "none" when empty. */
+    std::string toString() const;
+
+    bool operator==(const SupportSet &o) const { return bits_ == o.bits_; }
+
+  private:
+    std::uint8_t bits_ = 0;
+};
+
+/** Short description of one support (Table 1). */
+const char *supportDescription(Support s);
+
+/** All five supports, for iteration. */
+const std::vector<Support> &allSupports();
+
+/**
+ * One point in the taxonomy: the complete configuration of a buffering
+ * scheme.
+ */
+struct SchemeConfig {
+    Separation separation = Separation::SingleT;
+    Merging merging = Merging::EagerAMM;
+    /** FMM only: maintain the MHB with plain instructions (FMM.Sw). */
+    bool softwareLog = false;
+
+    bool isAmm() const { return merging != Merging::FMM; }
+    bool multiTask() const { return separation != Separation::SingleT; }
+    bool multiVersion() const
+    {
+        return separation == Separation::MultiTMV;
+    }
+
+    /** e.g. "MultiT&MV Lazy AMM", "MultiT&MV FMM.Sw". */
+    std::string name() const;
+
+    /** Hardware supports required (Table 2 / Section 3.3). */
+    SupportSet requiredSupports() const;
+
+    /**
+     * The paper shades SingleT-FMM and MultiT&SV-FMM as uninteresting:
+     * they need nearly all of MultiT&MV-FMM's hardware without its
+     * benefits (Section 3.3.4).
+     */
+    bool isShadedCorner() const
+    {
+        return merging == Merging::FMM &&
+               separation != Separation::MultiTMV;
+    }
+
+    /** The six (plus FMM.Sw) configurations evaluated in the paper. */
+    static std::vector<SchemeConfig> evaluatedSchemes();
+
+    static SchemeConfig
+    make(Separation s, Merging m, bool sw_log = false)
+    {
+        return SchemeConfig{s, m, sw_log};
+    }
+};
+
+/**
+ * Figure 4: published scheme -> taxonomy position.
+ */
+struct PublishedScheme {
+    const char *name;
+    Separation separation;
+    Merging merging;
+    /** Eager/Lazy distinction does not apply (e.g. DDSM). */
+    bool mergingNotApplicable;
+    /** Coarse-recovery software schemes (LRPD, SUDS, ...). */
+    bool coarseRecovery;
+};
+
+/** The atlas of published schemes the paper maps onto the taxonomy. */
+const std::vector<PublishedScheme> &publishedSchemes();
+
+} // namespace tlsim::tls
+
+#endif // TLSIM_TLS_SCHEME_HPP

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * A workload with explicitly scripted per-task op lists. Used by unit
+ * tests, the illustrative figure benchmarks (Figures 5 and 6) and as
+ * the simplest way to drive the engine from user code.
+ */
+
+#ifndef TLSIM_TLS_SCRIPTED_WORKLOAD_HPP
+#define TLSIM_TLS_SCRIPTED_WORKLOAD_HPP
+
+#include <vector>
+
+#include "tls/workload.hpp"
+
+namespace tlsim::tls {
+
+/**
+ * Each task's trace is an explicit vector of ops; deterministic by
+ * construction. Addresses in [0x1000'0000, 0x2000'0000) are reported
+ * as mostly-private (for footprint statistics).
+ */
+class ScriptedWorkload : public Workload
+{
+  public:
+    explicit ScriptedWorkload(std::vector<std::vector<cpu::Op>> tasks,
+                              TaskId tasks_per_invocation = 0)
+        : tasks_(std::move(tasks)), perInvoc_(tasks_per_invocation)
+    {}
+
+    std::string name() const override { return "scripted"; }
+    TaskId numTasks() const override { return tasks_.size(); }
+
+    TaskId
+    tasksPerInvocation() const override
+    {
+        return perInvoc_ == 0 ? numTasks() : perInvoc_;
+    }
+
+    std::unique_ptr<cpu::TaskTrace>
+    makeTrace(TaskId task) override
+    {
+        return std::make_unique<cpu::VectorTrace>(tasks_.at(task - 1));
+    }
+
+    bool
+    isPrivAddr(Addr addr) const override
+    {
+        return addr >= 0x1000'0000 && addr < 0x2000'0000;
+    }
+
+  private:
+    std::vector<std::vector<cpu::Op>> tasks_;
+    TaskId perInvoc_;
+};
+
+} // namespace tlsim::tls
+
+#endif // TLSIM_TLS_SCRIPTED_WORKLOAD_HPP

@@ -1,0 +1,18 @@
+#include "tls/task.hpp"
+
+namespace tlsim::tls {
+
+const char *
+taskStateName(TaskState s)
+{
+    switch (s) {
+      case TaskState::Pending: return "pending";
+      case TaskState::Running: return "running";
+      case TaskState::Finished: return "finished";
+      case TaskState::Committing: return "committing";
+      case TaskState::Committed: return "committed";
+    }
+    return "?";
+}
+
+} // namespace tlsim::tls

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Per-task bookkeeping: lifecycle state, speculative footprint, and the
+ * timeline data used to draw the paper's wavefront figures.
+ */
+
+#ifndef TLSIM_TLS_TASK_HPP
+#define TLSIM_TLS_TASK_HPP
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.hpp"
+#include "mem/version_tag.hpp"
+
+namespace tlsim::tls {
+
+/** Lifecycle of one speculative task. */
+enum class TaskState : std::uint8_t {
+    Pending,    ///< not dispatched (or re-queued after a squash)
+    Running,    ///< executing on a processor
+    Finished,   ///< done executing, still speculative
+    Committing, ///< owns the commit token; merge in progress
+    Committed   ///< architectural
+};
+
+const char *taskStateName(TaskState s);
+
+/**
+ * Everything the engine tracks about one task.
+ */
+struct TaskRecord {
+    TaskId id = 0;
+    TaskState state = TaskState::Pending;
+    ProcId proc = kNoProc;
+    /** Bumped at each dispatch; 1 on first execution. */
+    std::uint32_t incarnation = 0;
+    /** Times squashed. */
+    std::uint32_t squashes = 0;
+
+    /** Lines with a version produced by the current incarnation. */
+    std::vector<Addr> dirtyLines;
+    std::unordered_set<Addr> dirtyLineSet;
+    /** Distinct words written (footprint statistic). */
+    std::unordered_set<Addr> writtenWords;
+    /** Distinct words read (read-set; violation-record cleanup). */
+    std::unordered_set<Addr> readWords;
+    /** Words written into the workload's mostly-private region. */
+    std::uint64_t privWords = 0;
+
+    /** @name Timeline (last incarnation) */
+    ///@{
+    Cycle execStart = 0;
+    Cycle execEnd = 0;
+    Cycle commitStart = 0;
+    Cycle commitEnd = 0;
+    ///@}
+
+    mem::VersionTag
+    tag() const
+    {
+        return mem::VersionTag{id, incarnation};
+    }
+
+    bool
+    isSpeculativeState() const
+    {
+        return state == TaskState::Running || state == TaskState::Finished;
+    }
+
+    /** Reset speculative footprint for a (re-)execution. */
+    void
+    resetFootprint()
+    {
+        dirtyLines.clear();
+        dirtyLineSet.clear();
+        writtenWords.clear();
+        readWords.clear();
+        privWords = 0;
+    }
+
+    void
+    noteDirtyLine(Addr line)
+    {
+        if (dirtyLineSet.insert(line).second)
+            dirtyLines.push_back(line);
+    }
+};
+
+} // namespace tlsim::tls
+
+#endif // TLSIM_TLS_TASK_HPP

@@ -1,0 +1,135 @@
+#include "tls/version_map.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace tlsim::tls {
+
+VersionInfo *
+VersionMap::latestVisible(Addr line, TaskId reader)
+{
+    auto it = lines_.find(line);
+    if (it == lines_.end())
+        return nullptr;
+    auto &vec = it->second;
+    // Vector is sorted ascending by producer; scan from the back.
+    for (auto rit = vec.rbegin(); rit != vec.rend(); ++rit) {
+        if (rit->tag.producer <= reader)
+            return &*rit;
+    }
+    return nullptr;
+}
+
+VersionInfo *
+VersionMap::find(Addr line, mem::VersionTag tag)
+{
+    auto it = lines_.find(line);
+    if (it == lines_.end())
+        return nullptr;
+    for (auto &v : it->second) {
+        if (v.tag == tag)
+            return &v;
+    }
+    return nullptr;
+}
+
+VersionInfo *
+VersionMap::memoryHolder(Addr line)
+{
+    auto it = lines_.find(line);
+    if (it == lines_.end())
+        return nullptr;
+    for (auto &v : it->second) {
+        if (v.inMemory)
+            return &v;
+    }
+    return nullptr;
+}
+
+VersionInfo *
+VersionMap::latestCommitted(Addr line)
+{
+    auto it = lines_.find(line);
+    if (it == lines_.end())
+        return nullptr;
+    auto &vec = it->second;
+    for (auto rit = vec.rbegin(); rit != vec.rend(); ++rit) {
+        if (rit->committed)
+            return &*rit;
+    }
+    return nullptr;
+}
+
+TaskId
+VersionMap::latestWordWriter(Addr line, std::uint8_t word_bit,
+                             TaskId reader)
+{
+    auto it = lines_.find(line);
+    if (it == lines_.end())
+        return 0;
+    auto &vec = it->second;
+    for (auto rit = vec.rbegin(); rit != vec.rend(); ++rit) {
+        if (rit->tag.producer <= reader && (rit->writeMask & word_bit))
+            return rit->tag.producer;
+    }
+    return 0;
+}
+
+std::vector<VersionInfo> &
+VersionMap::versionsOf(Addr line)
+{
+    return lines_[line];
+}
+
+VersionInfo &
+VersionMap::create(Addr line, mem::VersionTag tag, ProcId owner)
+{
+    auto &vec = lines_[line];
+    auto pos = std::lower_bound(
+        vec.begin(), vec.end(), tag.producer,
+        [](const VersionInfo &v, TaskId p) { return v.tag.producer < p; });
+    if (pos != vec.end() && pos->tag.producer == tag.producer)
+        panic("VersionMap::create: duplicate producer for line");
+    VersionInfo info;
+    info.tag = tag;
+    info.cacheOwner = owner;
+    ++totalVersions_;
+    return *vec.insert(pos, info);
+}
+
+void
+VersionMap::remove(Addr line, mem::VersionTag tag)
+{
+    auto it = lines_.find(line);
+    if (it == lines_.end())
+        return;
+    auto &vec = it->second;
+    for (auto vit = vec.begin(); vit != vec.end(); ++vit) {
+        if (vit->tag == tag) {
+            vec.erase(vit);
+            --totalVersions_;
+            break;
+        }
+    }
+    if (vec.empty())
+        lines_.erase(it);
+}
+
+void
+VersionMap::forEach(const std::function<void(Addr, VersionInfo &)> &fn)
+{
+    for (auto &[line, vec] : lines_) {
+        for (auto &v : vec)
+            fn(line, v);
+    }
+}
+
+void
+VersionMap::clear()
+{
+    lines_.clear();
+    totalVersions_ = 0;
+}
+
+} // namespace tlsim::tls

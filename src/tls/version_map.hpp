@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Global version bookkeeping: for every line touched under speculation,
+ * which versions exist, who produced them, and where their data lives.
+ *
+ * This is the simulator's omniscient view of the distributed version
+ * state (MROB or MHB plus memory). Real machines reconstruct this
+ * information with the CTID/CRL/VCL/MTID supports; the engine charges
+ * the corresponding latencies, while this map answers the questions
+ * exactly. The simulator tracks no data values: a version is pure
+ * metadata (see DESIGN.md).
+ */
+
+#ifndef TLSIM_TLS_VERSION_MAP_HPP
+#define TLSIM_TLS_VERSION_MAP_HPP
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "mem/version_tag.hpp"
+
+namespace tlsim::tls {
+
+/** Where the data of one version can be found. */
+struct VersionInfo {
+    mem::VersionTag tag;
+    std::uint8_t writeMask = 0;
+    /** Producing task has committed. */
+    bool committed = false;
+    /** Main memory holds this version (authoritative copy). */
+    bool inMemory = false;
+    /** Processor whose L2 holds the dirty authoritative copy. */
+    ProcId cacheOwner = kNoProc;
+    /** The copy lives in cacheOwner's overflow area, not its L2. */
+    bool inOverflow = false;
+    /** A backup copy exists in some processor's MHB (undo log). */
+    bool inMhb = false;
+    ProcId mhbProc = kNoProc;
+
+    bool
+    reachable() const
+    {
+        return inMemory || cacheOwner != kNoProc || inMhb;
+    }
+};
+
+/**
+ * Versions of all lines, ordered by producer within each line.
+ */
+class VersionMap
+{
+  public:
+    /**
+     * The youngest version with producer <= @p reader, or nullptr when
+     * the reader should see the architectural/pre-section state.
+     */
+    VersionInfo *latestVisible(Addr line, TaskId reader);
+
+    /** The version with exactly @p tag, or nullptr. */
+    VersionInfo *find(Addr line, mem::VersionTag tag);
+
+    /** The version currently held by main memory, or nullptr (arch). */
+    VersionInfo *memoryHolder(Addr line);
+
+    /** The youngest committed version of @p line, or nullptr. */
+    VersionInfo *latestCommitted(Addr line);
+
+    /**
+     * Word-granularity visibility for violation detection: producer of
+     * the youngest version <= @p reader that wrote the word selected
+     * by @p word_bit, or 0 (architectural).
+     */
+    TaskId latestWordWriter(Addr line, std::uint8_t word_bit,
+                            TaskId reader);
+
+    /** All versions of @p line (ascending producer). */
+    std::vector<VersionInfo> &versionsOf(Addr line);
+
+    /** True if any version of @p line exists. */
+    bool
+    anyVersion(Addr line) const
+    {
+        return lines_.count(line) != 0;
+    }
+
+    /**
+     * Create a version (keeps the per-line vector sorted by producer).
+     * @pre no version with the same producer exists for the line.
+     */
+    VersionInfo &create(Addr line, mem::VersionTag tag, ProcId owner);
+
+    /** Remove the version with @p tag (squash). No-op if absent. */
+    void remove(Addr line, mem::VersionTag tag);
+
+    /** Apply @p fn to every (line, version) pair. */
+    void forEach(const std::function<void(Addr, VersionInfo &)> &fn);
+
+    /** Number of lines with at least one version. */
+    std::size_t linesTracked() const { return lines_.size(); }
+
+    /** Total versions across all lines. */
+    std::size_t totalVersions() const { return totalVersions_; }
+
+    void clear();
+
+  private:
+    std::unordered_map<Addr, std::vector<VersionInfo>> lines_;
+    std::size_t totalVersions_ = 0;
+};
+
+} // namespace tlsim::tls
+
+#endif // TLSIM_TLS_VERSION_MAP_HPP

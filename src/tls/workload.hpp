@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The program under speculative parallelization, as the engine sees it:
+ * an ordered set of tasks, each delivering an op trace on demand.
+ */
+
+#ifndef TLSIM_TLS_WORKLOAD_HPP
+#define TLSIM_TLS_WORKLOAD_HPP
+
+#include <memory>
+#include <string>
+
+#include "common/types.hpp"
+#include "cpu/op.hpp"
+
+namespace tlsim::tls {
+
+/**
+ * One speculatively parallelized loop (the paper's non-analyzable
+ * sections). Task IDs run 1..numTasks() in sequential order.
+ *
+ * makeTrace must be deterministic in the task ID: a squashed task
+ * re-executes exactly the same stream.
+ */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    virtual std::string name() const = 0;
+
+    virtual TaskId numTasks() const = 0;
+
+    /**
+     * Tasks per loop invocation. The paper's non-analyzable loops are
+     * invoked many times; invocations are separated by barriers, so
+     * speculative state never crosses them (Table 3's "#Invoc; #Tasks
+     * per Invoc"). Default: one big invocation.
+     */
+    virtual TaskId tasksPerInvocation() const { return numTasks(); }
+
+    /** Fresh op stream for one execution of @p task (1-based). */
+    virtual std::unique_ptr<cpu::TaskTrace> makeTrace(TaskId task) = 0;
+
+    /**
+     * True if @p addr belongs to the workload's mostly-privatization
+     * region (Figure 1's "Priv %" statistic).
+     */
+    virtual bool isPrivAddr(Addr addr) const
+    {
+        (void)addr;
+        return false;
+    }
+};
+
+} // namespace tlsim::tls
+
+#endif // TLSIM_TLS_WORKLOAD_HPP

@@ -1,0 +1,15 @@
+/**
+ * @file
+ * Test alias for the library's scripted workload.
+ */
+
+#ifndef TLSIM_TESTS_SCRIPTED_WORKLOAD_HPP
+#define TLSIM_TESTS_SCRIPTED_WORKLOAD_HPP
+
+#include "tls/scripted_workload.hpp"
+
+namespace tlsim::test {
+using ScriptedWorkload = tls::ScriptedWorkload;
+} // namespace tlsim::test
+
+#endif // TLSIM_TESTS_SCRIPTED_WORKLOAD_HPP

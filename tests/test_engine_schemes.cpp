@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Scheme-specific engine behavior: SingleT token stalls, MultiT&SV
+ * second-version stalls, MultiT&MV version co-existence, Lazy VCL
+ * activity, FMM logging and MTID write-backs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "scripted_workload.hpp"
+#include "tls/engine.hpp"
+
+using namespace tlsim;
+using namespace tlsim::tls;
+using cpu::Op;
+using test::ScriptedWorkload;
+
+namespace {
+
+/** Tasks that all write the same "privatization" line early. */
+std::vector<std::vector<Op>>
+privTasks(int n, unsigned instrs = 2000)
+{
+    std::vector<std::vector<Op>> tasks;
+    for (int t = 0; t < n; ++t) {
+        std::vector<Op> ops;
+        ops.push_back(Op::compute(50));
+        for (int w = 0; w < 8; ++w)
+            ops.push_back(Op::store(0x1000'0000 + w * 8)); // same line
+        ops.push_back(Op::compute(instrs));
+        for (int w = 0; w < 8; ++w)
+            ops.push_back(Op::load(0x1000'0000 + w * 8));
+        tasks.push_back(std::move(ops));
+    }
+    return tasks;
+}
+
+/** Tasks with disjoint footprints. */
+std::vector<std::vector<Op>>
+disjointTasks(int n, unsigned instrs = 2000)
+{
+    std::vector<std::vector<Op>> tasks;
+    for (int t = 0; t < n; ++t) {
+        std::vector<Op> ops;
+        Addr base = 0x4000'0000 + Addr(t) * 4096;
+        ops.push_back(Op::compute(instrs / 2));
+        for (int w = 0; w < 8; ++w)
+            ops.push_back(Op::store(base + w * 8));
+        ops.push_back(Op::compute(instrs / 2));
+        tasks.push_back(std::move(ops));
+    }
+    return tasks;
+}
+
+RunResult
+run(std::vector<std::vector<Op>> tasks, Separation sep, Merging merge,
+    bool sw = false, bool numa = true)
+{
+    ScriptedWorkload wl(std::move(tasks));
+    EngineConfig cfg;
+    cfg.scheme = SchemeConfig::make(sep, merge, sw);
+    cfg.machine = numa ? mem::MachineParams::numa16()
+                       : mem::MachineParams::cmp8();
+    SpeculationEngine engine(cfg, wl);
+    return engine.run();
+}
+
+} // namespace
+
+TEST(SchemeBehavior, SingleTStallsForTheToken)
+{
+    RunResult res =
+        run(disjointTasks(64), Separation::SingleT, Merging::EagerAMM);
+    EXPECT_GT(res.total.get(CycleKind::TokenStall), 0u);
+    // SingleT cannot buffer more than one speculative task per proc.
+    EXPECT_LE(res.avgSpecTasksPerProc, 1.01);
+}
+
+TEST(SchemeBehavior, SingleTEagerDoesCommitWorkOnTheProcessor)
+{
+    RunResult res =
+        run(disjointTasks(64), Separation::SingleT, Merging::EagerAMM);
+    EXPECT_GT(res.total.get(CycleKind::CommitWork), 0u);
+    RunResult lazy =
+        run(disjointTasks(64), Separation::SingleT, Merging::LazyAMM);
+    EXPECT_EQ(lazy.total.get(CycleKind::CommitWork), 0u);
+}
+
+TEST(SchemeBehavior, MultiTSvStallsOnSecondLocalVersion)
+{
+    // Mostly-privatization pattern written early: the paper's
+    // Figure 5-(b) second-version stall.
+    RunResult res =
+        run(privTasks(64), Separation::MultiTSV, Merging::EagerAMM);
+    EXPECT_GT(res.total.get(CycleKind::VersionStall), 0u);
+    EXPECT_GT(res.counters.get("sv_stalls"), 0u);
+}
+
+TEST(SchemeBehavior, MultiTMvDoesNotStallOnVersions)
+{
+    RunResult res =
+        run(privTasks(64), Separation::MultiTMV, Merging::EagerAMM);
+    EXPECT_EQ(res.total.get(CycleKind::VersionStall), 0u);
+    EXPECT_EQ(res.counters.get("sv_stalls"), 0u);
+}
+
+TEST(SchemeBehavior, MultiTMvOutperformsSingleTOnPrivPatterns)
+{
+    // Figure 5-(c) vs 5-(a). Tasks long enough that the commit
+    // wavefront is not the bottleneck for either scheme.
+    Cycle single = run(privTasks(64, 40'000), Separation::SingleT,
+                       Merging::EagerAMM)
+                       .execTime;
+    Cycle multi = run(privTasks(64, 40'000), Separation::MultiTMV,
+                      Merging::EagerAMM)
+                      .execTime;
+    EXPECT_LT(multi, single);
+}
+
+TEST(SchemeBehavior, SvMatchesMvWithoutPrivPatterns)
+{
+    // Section 5.1: MultiT&SV largely matches MultiT&MV when
+    // mostly-privatization patterns are rare.
+    Cycle sv = run(disjointTasks(64), Separation::MultiTSV,
+                   Merging::EagerAMM)
+                   .execTime;
+    Cycle mv = run(disjointTasks(64), Separation::MultiTMV,
+                   Merging::EagerAMM)
+                   .execTime;
+    EXPECT_NEAR(double(sv), double(mv), 0.05 * double(mv));
+}
+
+TEST(SchemeBehavior, LazyPassesTheTokenFast)
+{
+    RunResult eager =
+        run(disjointTasks(64), Separation::MultiTMV, Merging::EagerAMM);
+    RunResult lazy =
+        run(disjointTasks(64), Separation::MultiTMV, Merging::LazyAMM);
+    // Mean commit duration (C of the C/E ratio) shrinks to ~token pass.
+    EXPECT_LT(lazy.commitExecRatio, eager.commitExecRatio);
+}
+
+TEST(SchemeBehavior, LazyMergesCommittedVersionsEventually)
+{
+    RunResult res =
+        run(privTasks(48), Separation::MultiTMV, Merging::LazyAMM);
+    // Superseded committed versions are combined/invalidated by VCL
+    // (displacement or final merge).
+    EXPECT_GT(res.counters.get("final_merge_lines") +
+                  res.counters.get("vcl_writebacks"),
+              0u);
+}
+
+TEST(SchemeBehavior, FmmLogsBeforeCreatingVersions)
+{
+    RunResult res =
+        run(privTasks(48), Separation::MultiTMV, Merging::FMM);
+    // One MHB entry per version created (first write to each line).
+    EXPECT_EQ(res.counters.get("log_appends"),
+              res.counters.get("versions_created"));
+}
+
+TEST(SchemeBehavior, FmmSwChargesLoggingInstructions)
+{
+    RunResult hw =
+        run(privTasks(48), Separation::MultiTMV, Merging::FMM);
+    RunResult sw =
+        run(privTasks(48), Separation::MultiTMV, Merging::FMM, true);
+    EXPECT_EQ(hw.total.get(CycleKind::LogOverhead), 0u);
+    EXPECT_GT(sw.total.get(CycleKind::LogOverhead), 0u);
+    // Busy (paper definition) grows under software logging.
+    EXPECT_GT(sw.total.busy(), hw.total.busy());
+}
+
+TEST(SchemeBehavior, FmmCommitIsFree)
+{
+    RunResult fmm =
+        run(disjointTasks(64), Separation::MultiTMV, Merging::FMM);
+    // Commit = token pass only: mean commit duration is tiny.
+    EXPECT_LT(fmm.commitExecRatio, 0.02);
+    EXPECT_EQ(fmm.counters.get("eager_writebacks"), 0u);
+}
+
+TEST(SchemeBehavior, NoOverflowAreaMeansStallsOrWriteThrough)
+{
+    // Ablation: tiny L2 without an overflow area; speculative lines
+    // pin their sets and the processor must stall (or the non-spec
+    // task writes through).
+    std::vector<std::vector<Op>> tasks;
+    for (int t = 0; t < 32; ++t) {
+        std::vector<Op> ops;
+        // 64 lines mapping into a 16-set L2 -> heavy conflict.
+        for (int w = 0; w < 64; ++w)
+            ops.push_back(
+                Op::store(0x4000'0000 + Addr(t) * (1 << 20) +
+                          Addr(w) * 64));
+        ops.push_back(Op::compute(500));
+        tasks.push_back(std::move(ops));
+    }
+    ScriptedWorkload wl(std::move(tasks));
+    EngineConfig cfg;
+    cfg.scheme =
+        SchemeConfig::make(Separation::MultiTMV, Merging::EagerAMM);
+    cfg.machine = mem::MachineParams::numa16();
+    cfg.machine.l2 = mem::CacheGeometry::of(16 * 64 * 2, 2);
+    cfg.machine.l1 = mem::CacheGeometry::of(8 * 64 * 2, 2);
+    cfg.machine.overflowArea = false;
+    SpeculationEngine engine(cfg, wl);
+    RunResult res = engine.run();
+    EXPECT_EQ(res.committedTasks, 32u);
+    EXPECT_GT(res.total.get(CycleKind::OverflowStall) +
+                  res.counters.get("nonspec_writethroughs"),
+              0u);
+    EXPECT_EQ(res.counters.get("overflow_spills"), 0u);
+}
+
+TEST(SchemeBehavior, CmpMachineRunsEveryScheme)
+{
+    for (const SchemeConfig &scheme :
+         SchemeConfig::evaluatedSchemes()) {
+        std::vector<std::vector<Op>> tasks = disjointTasks(24);
+        ScriptedWorkload wl(std::move(tasks));
+        EngineConfig cfg;
+        cfg.scheme = scheme;
+        cfg.machine = mem::MachineParams::cmp8();
+        SpeculationEngine engine(cfg, wl);
+        EXPECT_EQ(engine.run().committedTasks, 24u) << scheme.name();
+    }
+}

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Unit tests for the discrete-event kernel.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/event_queue.hpp"
+
+using namespace tlsim;
+
+TEST(EventQueue, StartsAtTimeZero)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.now(), 0u);
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueue, RunsEventsInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueue, TiesFireInSchedulingOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        eq.schedule(5, [&, i] { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, ScheduleInIsRelative)
+{
+    EventQueue eq;
+    Cycle seen = 0;
+    eq.schedule(100, [&] {
+        eq.scheduleIn(50, [&] { seen = eq.now(); });
+    });
+    eq.run();
+    EXPECT_EQ(seen, 150u);
+}
+
+TEST(EventQueue, CancelPreventsExecution)
+{
+    EventQueue eq;
+    bool fired = false;
+    EventId id = eq.schedule(10, [&] { fired = true; });
+    eq.cancel(id);
+    EXPECT_TRUE(eq.empty());
+    eq.run();
+    EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelIsIdempotent)
+{
+    EventQueue eq;
+    EventId id = eq.schedule(10, [] {});
+    eq.cancel(id);
+    eq.cancel(id);
+    eq.cancel(9999); // unknown ids are ignored
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueue, RunUpToLimitLeavesLaterEvents)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&] { ++fired; });
+    eq.schedule(20, [&] { ++fired; });
+    eq.schedule(30, [&] { ++fired; });
+    eq.run(20);
+    EXPECT_EQ(fired, 2);
+    EXPECT_FALSE(eq.empty());
+    eq.run();
+    EXPECT_EQ(fired, 3);
+}
+
+TEST(EventQueue, EventsScheduledDuringRunAreExecuted)
+{
+    EventQueue eq;
+    int depth = 0;
+    std::function<void()> chain = [&] {
+        if (++depth < 100)
+            eq.scheduleIn(1, chain);
+    };
+    eq.schedule(0, chain);
+    eq.run();
+    EXPECT_EQ(depth, 100);
+    EXPECT_EQ(eq.now(), 99u);
+}
+
+TEST(EventQueue, ExecutedEventsCounts)
+{
+    EventQueue eq;
+    for (int i = 0; i < 7; ++i)
+        eq.schedule(Cycle(i), [] {});
+    EventId id = eq.schedule(100, [] {});
+    eq.cancel(id);
+    eq.run();
+    EXPECT_EQ(eq.executedEvents(), 7u);
+}
+
+TEST(EventQueue, StepExecutesExactlyOne)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(1, [&] { ++fired; });
+    eq.schedule(2, [&] { ++fired; });
+    EXPECT_TRUE(eq.step());
+    EXPECT_EQ(fired, 1);
+    EXPECT_TRUE(eq.step());
+    EXPECT_EQ(fired, 2);
+    EXPECT_FALSE(eq.step());
+}
+
+TEST(EventQueueDeath, SchedulingIntoThePastPanics)
+{
+    EventQueue eq;
+    eq.schedule(50, [] {});
+    eq.run();
+    EXPECT_DEATH(eq.schedule(10, [] {}), "past");
+}

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Tests for the deterministic RNG and its distributions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+using namespace tlsim;
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, ForkIsDeterministicPerStream)
+{
+    Rng a = Rng::fork(7, 3);
+    Rng b = Rng::fork(7, 3);
+    Rng c = Rng::fork(7, 4);
+    EXPECT_EQ(a.next(), b.next());
+    EXPECT_NE(a.next(), c.next());
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(9);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        double u = r.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, BelowStaysBelow)
+{
+    Rng r(10);
+    for (int i = 0; i < 10000; ++i)
+        ASSERT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, RangeIsInclusive)
+{
+    Rng r(11);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        auto v = r.range(3, 6);
+        ASSERT_GE(v, 3u);
+        ASSERT_LE(v, 6u);
+        saw_lo |= v == 3;
+        saw_hi |= v == 6;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ChanceFrequencyMatchesProbability)
+{
+    Rng r(12);
+    int hits = 0;
+    for (int i = 0; i < 100000; ++i)
+        hits += r.chance(0.25);
+    EXPECT_NEAR(hits / 100000.0, 0.25, 0.01);
+}
+
+TEST(Rng, LognormalMeanIsCalibrated)
+{
+    // lognormalWithMean(m, sigma) must have mean ~m for moderate sigma.
+    Rng r(13);
+    double sum = 0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        sum += r.lognormalWithMean(10.0, 0.5);
+    EXPECT_NEAR(sum / n, 10.0, 0.3);
+}
+
+TEST(Rng, ParetoRespectsScale)
+{
+    Rng r(14);
+    for (int i = 0; i < 10000; ++i)
+        ASSERT_GE(r.pareto(8.0, 1.5), 8.0);
+}
+
+TEST(Rng, NormalHasZeroMeanUnitVariance)
+{
+    Rng r(15);
+    double sum = 0, sq = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        double x = r.normal();
+        sum += x;
+        sq += x * x;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sq / n, 1.0, 0.03);
+}

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Tests for the taxonomy model: Table 1 supports, Table 2 upgrade
+ * path, Figure 4 scheme atlas.
+ */
+
+#include <gtest/gtest.h>
+
+#include "tls/scheme.hpp"
+
+using namespace tlsim::tls;
+
+TEST(SupportSet, BitOperations)
+{
+    SupportSet s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.toString(), "none");
+    s = s.with(kCTID).with(kVCL);
+    EXPECT_TRUE(s.has(kCTID));
+    EXPECT_TRUE(s.has(kVCL));
+    EXPECT_FALSE(s.has(kULOG));
+    EXPECT_EQ(s.count(), 2u);
+    EXPECT_EQ(s.toString(), "CTID+VCL");
+}
+
+TEST(SupportSet, AllFiveSupportsHaveDescriptions)
+{
+    // Table 1 has exactly five rows.
+    EXPECT_EQ(allSupports().size(), 5u);
+    for (Support s : allSupports())
+        EXPECT_GT(std::string(supportDescription(s)).size(), 10u);
+}
+
+TEST(SchemeConfig, NamesMatchThePaper)
+{
+    EXPECT_EQ(SchemeConfig::make(Separation::SingleT,
+                                 Merging::EagerAMM)
+                  .name(),
+              "SingleT Eager AMM");
+    EXPECT_EQ(SchemeConfig::make(Separation::MultiTSV,
+                                 Merging::LazyAMM)
+                  .name(),
+              "MultiT&SV Lazy AMM");
+    EXPECT_EQ(SchemeConfig::make(Separation::MultiTMV, Merging::FMM)
+                  .name(),
+              "MultiT&MV FMM");
+    EXPECT_EQ(
+        SchemeConfig::make(Separation::MultiTMV, Merging::FMM, true)
+            .name(),
+        "MultiT&MV FMM.Sw");
+}
+
+// Table 2: the support each upgrade step adds.
+
+TEST(SchemeConfig, SingleTEagerNeedsNothing)
+{
+    SupportSet s = SchemeConfig::make(Separation::SingleT,
+                                      Merging::EagerAMM)
+                       .requiredSupports();
+    EXPECT_EQ(s.count(), 0u);
+}
+
+TEST(SchemeConfig, MultiTSvAddsCtid)
+{
+    SupportSet s = SchemeConfig::make(Separation::MultiTSV,
+                                      Merging::EagerAMM)
+                       .requiredSupports();
+    EXPECT_TRUE(s.has(kCTID));
+    EXPECT_EQ(s.count(), 1u);
+}
+
+TEST(SchemeConfig, MultiTMvAddsCrl)
+{
+    SupportSet s = SchemeConfig::make(Separation::MultiTMV,
+                                      Merging::EagerAMM)
+                       .requiredSupports();
+    EXPECT_TRUE(s.has(kCTID));
+    EXPECT_TRUE(s.has(kCRL));
+    EXPECT_EQ(s.count(), 2u);
+}
+
+TEST(SchemeConfig, LazinessAddsVersionCombining)
+{
+    SupportSet s = SchemeConfig::make(Separation::MultiTMV,
+                                      Merging::LazyAMM)
+                       .requiredSupports();
+    EXPECT_TRUE(s.has(kCTID));
+    EXPECT_TRUE(s.has(kCRL));
+    EXPECT_TRUE(s.has(kVCL));
+    EXPECT_EQ(s.count(), 3u);
+}
+
+TEST(SchemeConfig, FmmNeedsMtidAndUlog)
+{
+    SupportSet s =
+        SchemeConfig::make(Separation::MultiTMV, Merging::FMM)
+            .requiredSupports();
+    EXPECT_TRUE(s.has(kCTID));
+    EXPECT_TRUE(s.has(kCRL));
+    EXPECT_TRUE(s.has(kMTID));
+    EXPECT_TRUE(s.has(kULOG));
+    EXPECT_FALSE(s.has(kVCL)); // VCL cannot replace MTID under FMM
+}
+
+TEST(SchemeConfig, SoftwareLogEliminatesUlogHardware)
+{
+    // FMM.Sw "eliminates the need for the ULOG hardware ... although
+    // it still needs the other FMM hardware".
+    SupportSet hw =
+        SchemeConfig::make(Separation::MultiTMV, Merging::FMM)
+            .requiredSupports();
+    SupportSet sw =
+        SchemeConfig::make(Separation::MultiTMV, Merging::FMM, true)
+            .requiredSupports();
+    EXPECT_FALSE(sw.has(kULOG));
+    EXPECT_EQ(sw.count() + 1, hw.count());
+}
+
+TEST(SchemeConfig, SingleTFmmNeedsCtidAnyway)
+{
+    // Section 3.3.4: FMM needs CTID even under SingleT, which is why
+    // the shaded corner is uninteresting.
+    SupportSet s =
+        SchemeConfig::make(Separation::SingleT, Merging::FMM)
+            .requiredSupports();
+    EXPECT_TRUE(s.has(kCTID));
+    EXPECT_TRUE(
+        SchemeConfig::make(Separation::SingleT, Merging::FMM)
+            .isShadedCorner());
+    EXPECT_TRUE(
+        SchemeConfig::make(Separation::MultiTSV, Merging::FMM)
+            .isShadedCorner());
+    EXPECT_FALSE(
+        SchemeConfig::make(Separation::MultiTMV, Merging::FMM)
+            .isShadedCorner());
+}
+
+TEST(SchemeConfig, ComplexityOrderingOfSection335)
+{
+    // MultiT&MV Eager is less complex than SingleT Lazy per support
+    // counting arguments; MultiT&MV Lazy less complex than FMM.
+    auto count = [](Separation sep, Merging m) {
+        return SchemeConfig::make(sep, m).requiredSupports().count();
+    };
+    EXPECT_LE(count(Separation::MultiTMV, Merging::EagerAMM),
+              2u); // CTID+CRL
+    EXPECT_LT(count(Separation::MultiTMV, Merging::LazyAMM),
+              count(Separation::MultiTMV, Merging::FMM));
+}
+
+TEST(SchemeConfig, EvaluatedSchemesMatchThePaperSet)
+{
+    auto schemes = SchemeConfig::evaluatedSchemes();
+    ASSERT_EQ(schemes.size(), 8u);
+    // None of the shaded corners is evaluated.
+    for (const auto &s : schemes)
+        EXPECT_FALSE(s.isShadedCorner()) << s.name();
+    EXPECT_EQ(schemes[0].name(), "SingleT Eager AMM");
+    EXPECT_EQ(schemes.back().name(), "MultiT&MV FMM.Sw");
+}
+
+TEST(PublishedSchemes, AtlasMatchesFigure4)
+{
+    const auto &atlas = publishedSchemes();
+    ASSERT_GE(atlas.size(), 12u);
+
+    auto find = [&](const std::string &name) {
+        for (const auto &p : atlas) {
+            if (std::string(p.name).find(name) != std::string::npos)
+                return &p;
+        }
+        return static_cast<const PublishedScheme *>(nullptr);
+    };
+
+    const PublishedScheme *hydra = find("Hydra");
+    ASSERT_NE(hydra, nullptr);
+    EXPECT_EQ(hydra->separation, Separation::MultiTMV);
+    EXPECT_EQ(hydra->merging, Merging::EagerAMM);
+
+    const PublishedScheme *prvulovic = find("Prvulovic01");
+    ASSERT_NE(prvulovic, nullptr);
+    EXPECT_EQ(prvulovic->merging, Merging::LazyAMM);
+
+    const PublishedScheme *zhang = find("Zhang99");
+    ASSERT_NE(zhang, nullptr);
+    EXPECT_EQ(zhang->merging, Merging::FMM);
+
+    const PublishedScheme *svc = find("SVC");
+    ASSERT_NE(svc, nullptr);
+    EXPECT_EQ(svc->separation, Separation::SingleT);
+    EXPECT_EQ(svc->merging, Merging::LazyAMM);
+
+    const PublishedScheme *lrpd = find("LRPD");
+    ASSERT_NE(lrpd, nullptr);
+    EXPECT_TRUE(lrpd->coarseRecovery);
+
+    const PublishedScheme *ddsm = find("DDSM");
+    ASSERT_NE(ddsm, nullptr);
+    EXPECT_TRUE(ddsm->mergingNotApplicable);
+}

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Tests for counters, histograms and the cycle breakdown.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+
+using namespace tlsim;
+
+TEST(CycleBreakdown, TotalSumsAllKinds)
+{
+    CycleBreakdown b;
+    b.add(CycleKind::Busy, 10);
+    b.add(CycleKind::MemStall, 5);
+    b.add(CycleKind::TokenStall, 3);
+    EXPECT_EQ(b.total(), 18u);
+}
+
+TEST(CycleBreakdown, BusyIncludesSoftwareLogOverhead)
+{
+    // The paper's "Busy" bucket is instruction execution; FMM.Sw's
+    // logging instructions belong there.
+    CycleBreakdown b;
+    b.add(CycleKind::Busy, 10);
+    b.add(CycleKind::LogOverhead, 4);
+    b.add(CycleKind::MemStall, 6);
+    EXPECT_EQ(b.busy(), 14u);
+    EXPECT_EQ(b.stall(), 6u);
+}
+
+TEST(CycleBreakdown, AccumulateMerges)
+{
+    CycleBreakdown a, b;
+    a.add(CycleKind::Busy, 1);
+    b.add(CycleKind::Busy, 2);
+    b.add(CycleKind::EndStall, 7);
+    a += b;
+    EXPECT_EQ(a.get(CycleKind::Busy), 3u);
+    EXPECT_EQ(a.get(CycleKind::EndStall), 7u);
+}
+
+TEST(CycleBreakdown, ToStringSkipsZeroBins)
+{
+    CycleBreakdown b;
+    b.add(CycleKind::Busy, 5);
+    std::string s = b.toString();
+    EXPECT_NE(s.find("busy=5"), std::string::npos);
+    EXPECT_EQ(s.find("mem_stall"), std::string::npos);
+}
+
+TEST(Histogram, TracksMinMaxMeanSum)
+{
+    Histogram h;
+    h.record(2);
+    h.record(4);
+    h.record(9);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_EQ(h.min(), 2u);
+    EXPECT_EQ(h.max(), 9u);
+    EXPECT_EQ(h.sum(), 15u);
+    EXPECT_DOUBLE_EQ(h.mean(), 5.0);
+}
+
+TEST(Histogram, PercentileWithBuckets)
+{
+    Histogram h(10);
+    for (unsigned v = 0; v < 100; ++v)
+        h.record(v);
+    EXPECT_LE(h.percentile(0.5), 59u);
+    EXPECT_GE(h.percentile(0.5), 40u);
+    EXPECT_GE(h.percentile(0.99), 90u);
+}
+
+TEST(Histogram, EmptyIsSafe)
+{
+    Histogram h(4);
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.percentile(0.9), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(CounterSet, IncrementAndRead)
+{
+    CounterSet c;
+    c.inc("loads");
+    c.inc("loads", 4);
+    EXPECT_EQ(c.get("loads"), 5u);
+    EXPECT_EQ(c.get("unknown"), 0u);
+}
+
+TEST(CounterSet, MergeAddsByName)
+{
+    CounterSet a, b;
+    a.inc("x", 2);
+    b.inc("x", 3);
+    b.inc("y", 1);
+    a.merge(b);
+    EXPECT_EQ(a.get("x"), 5u);
+    EXPECT_EQ(a.get("y"), 1u);
+}
+
+TEST(CounterSet, EntriesPreserveInsertionOrder)
+{
+    CounterSet c;
+    c.inc("b");
+    c.inc("a");
+    ASSERT_EQ(c.entries().size(), 2u);
+    EXPECT_EQ(c.entries()[0].first, "b");
+    EXPECT_EQ(c.entries()[1].first, "a");
+}

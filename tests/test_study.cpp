@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Tests for the study drivers, figure rendering and the text table.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/table.hpp"
+#include "sim/study.hpp"
+
+using namespace tlsim;
+
+namespace {
+
+apps::AppParams
+tinyApp()
+{
+    apps::AppParams p = apps::tree();
+    p.numTasks = 24;
+    p.tasksPerInvocation = 12;
+    p.instrPerTask = 3000;
+    return p;
+}
+
+} // namespace
+
+TEST(TextTable, RendersAlignedColumns)
+{
+    TextTable t({"A", "Busy"});
+    t.addRow({"x", "1.00"});
+    t.addSeparator();
+    t.addRow({"longer", "2.00"});
+    std::string out = t.render();
+    EXPECT_NE(out.find("A"), std::string::npos);
+    EXPECT_NE(out.find("longer"), std::string::npos);
+    EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(TextTable, FmtFormatsWithPrecision)
+{
+    EXPECT_EQ(TextTable::fmt(1.23456, 2), "1.23");
+    EXPECT_EQ(TextTable::fmt(2.0, 1), "2.0");
+}
+
+TEST(TextTableDeath, ArityMismatchPanics)
+{
+    TextTable t({"A", "B"});
+    EXPECT_DEATH(t.addRow({"only-one"}), "arity");
+}
+
+TEST(Study, NormalizationIsRelativeToFirstScheme)
+{
+    std::vector<tls::SchemeConfig> schemes = {
+        {tls::Separation::SingleT, tls::Merging::EagerAMM, false},
+        {tls::Separation::MultiTMV, tls::Merging::LazyAMM, false},
+    };
+    sim::AppStudy study = sim::runAppStudy(
+        tinyApp(), schemes, mem::MachineParams::numa16());
+    EXPECT_DOUBLE_EQ(study.normalized(0), 1.0);
+    EXPECT_GT(study.normalized(1), 0.0);
+    EXPECT_LT(study.normalized(1), 1.0); // MultiT&MV Lazy wins on Tree
+    EXPECT_GT(study.outcomes[1].speedup, study.outcomes[0].speedup);
+}
+
+TEST(Study, ReplicationsAverageAcrossSeeds)
+{
+    std::vector<tls::SchemeConfig> schemes = {
+        {tls::Separation::MultiTMV, tls::Merging::EagerAMM, false}};
+    sim::AppStudy one = sim::runAppStudy(
+        tinyApp(), schemes, mem::MachineParams::numa16(), 1);
+    sim::AppStudy three = sim::runAppStudy(
+        tinyApp(), schemes, mem::MachineParams::numa16(), 3);
+    EXPECT_GT(three.outcomes[0].meanExecTime, 0.0);
+    // The first replication of both protocols is the same seed.
+    EXPECT_EQ(one.outcomes[0].result.execTime,
+              three.outcomes[0].result.execTime);
+}
+
+TEST(Study, FigureAveragesAreMeansOfNormalizedTimes)
+{
+    std::vector<tls::SchemeConfig> schemes = {
+        {tls::Separation::SingleT, tls::Merging::EagerAMM, false},
+        {tls::Separation::SingleT, tls::Merging::LazyAMM, false},
+    };
+    std::vector<sim::AppStudy> studies;
+    studies.push_back(sim::runAppStudy(tinyApp(), schemes,
+                                       mem::MachineParams::numa16()));
+    sim::FigureAverages avg = sim::figureAverages(studies);
+    ASSERT_EQ(avg.normTime.size(), 2u);
+    EXPECT_DOUBLE_EQ(avg.normTime[0], 1.0);
+    EXPECT_DOUBLE_EQ(avg.normTime[1], studies[0].normalized(1));
+}
+
+TEST(Study, RenderFigureContainsEveryRow)
+{
+    std::vector<tls::SchemeConfig> schemes = {
+        {tls::Separation::SingleT, tls::Merging::EagerAMM, false},
+        {tls::Separation::MultiTMV, tls::Merging::FMM, false},
+    };
+    std::vector<sim::AppStudy> studies;
+    studies.push_back(sim::runAppStudy(tinyApp(), schemes,
+                                       mem::MachineParams::cmp8()));
+    std::string out = sim::renderFigure("title", studies);
+    EXPECT_NE(out.find("title"), std::string::npos);
+    EXPECT_NE(out.find("Tree"), std::string::npos);
+    EXPECT_NE(out.find("SingleT Eager AMM"), std::string::npos);
+    EXPECT_NE(out.find("MultiT&MV FMM"), std::string::npos);
+    EXPECT_NE(out.find("Average"), std::string::npos);
+}
+
+TEST(Study, SequentialBaselineIsSlowerThanParallel)
+{
+    apps::AppParams app = tinyApp();
+    tls::RunResult seq =
+        sim::runSequential(app, mem::MachineParams::numa16());
+    tls::RunResult par = sim::runScheme(
+        app, {tls::Separation::MultiTMV, tls::Merging::LazyAMM, false},
+        mem::MachineParams::numa16());
+    EXPECT_GT(seq.execTime, par.execTime);
+    EXPECT_EQ(seq.committedTasks, par.committedTasks);
+}

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Tests for the global version bookkeeping.
+ */
+
+#include <gtest/gtest.h>
+
+#include "tls/version_map.hpp"
+
+using namespace tlsim;
+using namespace tlsim::tls;
+using mem::VersionTag;
+
+TEST(VersionMap, EmptyLineHasNoVersions)
+{
+    VersionMap map;
+    EXPECT_EQ(map.latestVisible(5, 10), nullptr);
+    EXPECT_FALSE(map.anyVersion(5));
+}
+
+TEST(VersionMap, LatestVisibleRespectsTaskOrder)
+{
+    VersionMap map;
+    map.create(5, VersionTag{3, 1}, 0);
+    map.create(5, VersionTag{7, 1}, 1);
+    map.create(5, VersionTag{9, 1}, 2);
+
+    EXPECT_EQ(map.latestVisible(5, 2), nullptr);  // before all versions
+    EXPECT_EQ(map.latestVisible(5, 3)->tag.producer, 3u); // own version
+    EXPECT_EQ(map.latestVisible(5, 5)->tag.producer, 3u);
+    EXPECT_EQ(map.latestVisible(5, 8)->tag.producer, 7u);
+    EXPECT_EQ(map.latestVisible(5, 100)->tag.producer, 9u);
+}
+
+TEST(VersionMap, CreateKeepsSortedOrderRegardlessOfInsertion)
+{
+    VersionMap map;
+    map.create(5, VersionTag{9, 1}, 0);
+    map.create(5, VersionTag{3, 1}, 1);
+    map.create(5, VersionTag{7, 1}, 2);
+    auto &versions = map.versionsOf(5);
+    ASSERT_EQ(versions.size(), 3u);
+    EXPECT_EQ(versions[0].tag.producer, 3u);
+    EXPECT_EQ(versions[1].tag.producer, 7u);
+    EXPECT_EQ(versions[2].tag.producer, 9u);
+}
+
+TEST(VersionMap, RemoveDropsExactlyThatVersion)
+{
+    VersionMap map;
+    map.create(5, VersionTag{3, 1}, 0);
+    map.create(5, VersionTag{7, 1}, 1);
+    map.remove(5, VersionTag{3, 1});
+    EXPECT_EQ(map.find(5, VersionTag{3, 1}), nullptr);
+    EXPECT_NE(map.find(5, VersionTag{7, 1}), nullptr);
+    EXPECT_EQ(map.totalVersions(), 1u);
+    map.remove(5, VersionTag{7, 1});
+    EXPECT_FALSE(map.anyVersion(5));
+}
+
+TEST(VersionMap, RemoveWrongIncarnationIsNoOp)
+{
+    VersionMap map;
+    map.create(5, VersionTag{3, 2}, 0);
+    map.remove(5, VersionTag{3, 1});
+    EXPECT_NE(map.find(5, VersionTag{3, 2}), nullptr);
+}
+
+TEST(VersionMap, MemoryHolderFindsTheVersionInMemory)
+{
+    VersionMap map;
+    map.create(5, VersionTag{3, 1}, 0);
+    auto &v7 = map.create(5, VersionTag{7, 1}, 1);
+    EXPECT_EQ(map.memoryHolder(5), nullptr);
+    v7.inMemory = true;
+    ASSERT_NE(map.memoryHolder(5), nullptr);
+    EXPECT_EQ(map.memoryHolder(5)->tag.producer, 7u);
+}
+
+TEST(VersionMap, LatestCommittedIgnoresSpeculativeVersions)
+{
+    VersionMap map;
+    map.create(5, VersionTag{3, 1}, 0);
+    map.create(5, VersionTag{7, 1}, 1); // speculative
+    EXPECT_EQ(map.latestCommitted(5), nullptr);
+    // (pointers are invalidated by create: re-find before mutating)
+    map.find(5, VersionTag{3, 1})->committed = true;
+    EXPECT_EQ(map.latestCommitted(5)->tag.producer, 3u);
+}
+
+TEST(VersionMap, LatestWordWriterUsesWriteMasks)
+{
+    // Word-granularity visibility for violation detection: a version
+    // only "wrote" the words in its mask.
+    VersionMap map;
+    auto &v3 = map.create(5, VersionTag{3, 1}, 0);
+    v3.writeMask = 0x01; // word 0
+    auto &v7 = map.create(5, VersionTag{7, 1}, 1);
+    v7.writeMask = 0x02; // word 1
+
+    EXPECT_EQ(map.latestWordWriter(5, 0x01, 10), 3u);
+    EXPECT_EQ(map.latestWordWriter(5, 0x02, 10), 7u);
+    EXPECT_EQ(map.latestWordWriter(5, 0x04, 10), 0u); // nobody: arch
+    EXPECT_EQ(map.latestWordWriter(5, 0x02, 5), 0u);  // v7 not visible
+}
+
+TEST(VersionMap, ForEachVisitsEveryVersion)
+{
+    VersionMap map;
+    map.create(1, VersionTag{1, 1}, 0);
+    map.create(1, VersionTag{2, 1}, 0);
+    map.create(2, VersionTag{3, 1}, 0);
+    int n = 0;
+    map.forEach([&](Addr, VersionInfo &) { ++n; });
+    EXPECT_EQ(n, 3);
+    EXPECT_EQ(map.linesTracked(), 2u);
+    map.clear();
+    EXPECT_EQ(map.totalVersions(), 0u);
+}
+
+TEST(VersionMapDeath, DuplicateProducerPanics)
+{
+    VersionMap map;
+    map.create(5, VersionTag{3, 1}, 0);
+    EXPECT_DEATH(map.create(5, VersionTag{3, 2}, 0), "duplicate");
+}
+
+TEST(VersionMap, ReachabilityPredicate)
+{
+    VersionInfo v;
+    v.cacheOwner = kNoProc;
+    EXPECT_FALSE(v.reachable());
+    v.inMhb = true;
+    EXPECT_TRUE(v.reachable());
+    v.inMhb = false;
+    v.inMemory = true;
+    EXPECT_TRUE(v.reachable());
+    v.inMemory = false;
+    v.cacheOwner = 3;
+    EXPECT_TRUE(v.reachable());
+}

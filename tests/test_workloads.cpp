@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Tests for the synthetic application models.
+ */
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "apps/app_suite.hpp"
+#include "mem/geometry.hpp"
+
+using namespace tlsim;
+using namespace tlsim::apps;
+using cpu::Op;
+
+namespace {
+
+struct TaskSummary {
+    std::uint64_t instrs = 0;
+    unsigned loads = 0;
+    unsigned stores = 0;
+    std::vector<Addr> storeAddrs;
+    std::vector<Op> ops;
+};
+
+TaskSummary
+summarize(LoopWorkload &wl, TaskId task)
+{
+    TaskSummary s;
+    auto trace = wl.makeTrace(task);
+    for (Op op = trace->next(); op.kind != Op::Kind::End;
+         op = trace->next()) {
+        s.ops.push_back(op);
+        switch (op.kind) {
+          case Op::Kind::Compute: s.instrs += op.instrs; break;
+          case Op::Kind::Load: ++s.loads; break;
+          case Op::Kind::Store:
+            ++s.stores;
+            s.storeAddrs.push_back(op.addr);
+            break;
+          default: break;
+        }
+    }
+    return s;
+}
+
+} // namespace
+
+TEST(AppSuite, HasTheSevenPaperApplications)
+{
+    auto suite = appSuite();
+    ASSERT_EQ(suite.size(), 7u);
+    EXPECT_EQ(suite[0].name, "P3m");
+    EXPECT_EQ(suite[1].name, "Tree");
+    EXPECT_EQ(suite[2].name, "Bdna");
+    EXPECT_EQ(suite[3].name, "Apsi");
+    EXPECT_EQ(suite[4].name, "Track");
+    EXPECT_EQ(suite[5].name, "Dsmc3d");
+    EXPECT_EQ(suite[6].name, "Euler");
+}
+
+TEST(LoopWorkload, TracesAreDeterministicPerTask)
+{
+    LoopWorkload wl(apsi());
+    TaskSummary a = summarize(wl, 7);
+    TaskSummary b = summarize(wl, 7);
+    ASSERT_EQ(a.ops.size(), b.ops.size());
+    for (std::size_t i = 0; i < a.ops.size(); ++i) {
+        EXPECT_EQ(int(a.ops[i].kind), int(b.ops[i].kind));
+        EXPECT_EQ(a.ops[i].addr, b.ops[i].addr);
+        EXPECT_EQ(a.ops[i].instrs, b.ops[i].instrs);
+    }
+}
+
+TEST(LoopWorkload, InstructionBudgetTracksParameter)
+{
+    AppParams p = bdna();
+    LoopWorkload wl(p);
+    double sum = 0;
+    for (TaskId t = 1; t <= 32; ++t)
+        sum += double(summarize(wl, t).instrs) / wl.sizeFactor(t);
+    EXPECT_NEAR(sum / 32, p.instrPerTask, p.instrPerTask * 0.02);
+}
+
+TEST(LoopWorkload, WrittenFootprintMatchesParameter)
+{
+    AppParams p = apsi();
+    p.sizeSigma = 0.0; // exact-size tasks
+    LoopWorkload wl(p);
+    TaskSummary s = summarize(wl, 3);
+    std::sort(s.storeAddrs.begin(), s.storeAddrs.end());
+    s.storeAddrs.erase(
+        std::unique(s.storeAddrs.begin(), s.storeAddrs.end()),
+        s.storeAddrs.end());
+    double kb = double(s.storeAddrs.size()) * mem::kWordBytes / 1024.0;
+    EXPECT_NEAR(kb, p.writtenKb, p.writtenKb * 0.05);
+}
+
+TEST(LoopWorkload, PrivFractionOfWritesMatchesParameter)
+{
+    AppParams p = apsi(); // 60% privatization
+    p.sizeSigma = 0.0;
+    LoopWorkload wl(p);
+    TaskSummary s = summarize(wl, 3);
+    std::sort(s.storeAddrs.begin(), s.storeAddrs.end());
+    s.storeAddrs.erase(
+        std::unique(s.storeAddrs.begin(), s.storeAddrs.end()),
+        s.storeAddrs.end());
+    unsigned priv = 0;
+    for (Addr a : s.storeAddrs)
+        priv += wl.isPrivAddr(a);
+    EXPECT_NEAR(double(priv) / double(s.storeAddrs.size()),
+                p.privFraction, 0.03);
+}
+
+TEST(LoopWorkload, PrivAddressesAreSharedAcrossTasksForPrivApps)
+{
+    // The defining property of mostly-privatization patterns: every
+    // task creates a version of the SAME variables (Figure 1-b).
+    LoopWorkload wl(tree());
+    TaskSummary a = summarize(wl, 3);
+    TaskSummary b = summarize(wl, 4);
+    std::set<Addr> a_priv, b_priv;
+    for (Addr addr : a.storeAddrs)
+        if (wl.isPrivAddr(addr))
+            a_priv.insert(addr);
+    for (Addr addr : b.storeAddrs)
+        if (wl.isPrivAddr(addr))
+            b_priv.insert(addr);
+    ASSERT_FALSE(a_priv.empty());
+    EXPECT_EQ(a_priv, b_priv);
+}
+
+TEST(LoopWorkload, NonPrivAppsRarelyCollideOnConsecutiveTasks)
+{
+    // Track's tiny priv region rotates so that nearby tasks do not
+    // share speculative versions (otherwise MultiT&SV would stall).
+    LoopWorkload wl(track());
+    TaskSummary a = summarize(wl, 10);
+    TaskSummary b = summarize(wl, 11);
+    std::set<Addr> a_lines, inter;
+    for (Addr addr : a.storeAddrs)
+        a_lines.insert(mem::lineAddr(addr));
+    for (Addr addr : b.storeAddrs)
+        if (a_lines.count(mem::lineAddr(addr)))
+            inter.insert(mem::lineAddr(addr));
+    EXPECT_TRUE(inter.empty());
+}
+
+TEST(LoopWorkload, WriteEarlyPutsPrivWritesFirst)
+{
+    LoopWorkload wl(bdna()); // writeEarly = true
+    TaskSummary s = summarize(wl, 5);
+    // The first store must be into the priv region.
+    ASSERT_FALSE(s.storeAddrs.empty());
+    EXPECT_TRUE(wl.isPrivAddr(s.storeAddrs.front()));
+}
+
+TEST(LoopWorkload, DependencePairsLineUp)
+{
+    AppParams p = euler();
+    LoopWorkload wl(p);
+    unsigned consumers = 0;
+    for (TaskId c = p.depDistance + 1; c <= p.numTasks; ++c) {
+        if (!wl.isDepConsumer(c))
+            continue;
+        ++consumers;
+        // The producer's trace must contain a late store to the
+        // consumer's dependence word.
+        TaskSummary prod = summarize(wl, c - p.depDistance);
+        Addr dep_word = LoopWorkload::kDepBase +
+                        Addr(c % LoopWorkload::kDepWords) *
+                            mem::kWordBytes;
+        EXPECT_EQ(prod.storeAddrs.back(), dep_word);
+        // And the consumer reads it as its first memory op.
+        TaskSummary cons = summarize(wl, c);
+        const Op *first_mem = nullptr;
+        for (const Op &op : cons.ops) {
+            if (op.kind == Op::Kind::Load) {
+                first_mem = &op;
+                break;
+            }
+        }
+        ASSERT_NE(first_mem, nullptr);
+        EXPECT_EQ(first_mem->addr, dep_word);
+    }
+    EXPECT_GT(consumers, 0u);
+    EXPECT_LT(consumers, p.numTasks / 10);
+}
+
+TEST(LoopWorkload, ImbalanceClassesAreOrdered)
+{
+    auto spread = [](const AppParams &p) {
+        LoopWorkload wl(p);
+        double mx = 0, sum = 0;
+        for (TaskId t = 1; t <= p.numTasks; ++t) {
+            double f = wl.sizeFactor(t);
+            mx = std::max(mx, f);
+            sum += f;
+        }
+        return mx / (sum / p.numTasks);
+    };
+    // P3m (High) must have far heavier task-size tails than Bdna (Low).
+    EXPECT_GT(spread(p3m()), 4.0 * spread(bdna()));
+    // Tree (Med) sits in between.
+    EXPECT_GT(spread(p3m()), spread(tree()));
+    EXPECT_GT(spread(tree()), spread(bdna()));
+}
+
+TEST(LoopWorkload, QualitativeClassesMatchThePaper)
+{
+    EXPECT_EQ(p3m().loadImbalance, Level::High);
+    EXPECT_EQ(tree().privPattern, Level::High);
+    EXPECT_EQ(bdna().privPattern, Level::High);
+    EXPECT_EQ(apsi().commitExecClass, Level::High);
+    EXPECT_EQ(track().privPattern, Level::Low);
+    EXPECT_EQ(dsmc3d().commitExecClass, Level::Med);
+    EXPECT_GT(euler().depProb, track().depProb);
+}
+
+TEST(LoopWorkload, InvalidTaskIdPanics)
+{
+    LoopWorkload wl(tree());
+    EXPECT_DEATH(wl.makeTrace(0), "bad task id");
+    EXPECT_DEATH(wl.makeTrace(100000), "bad task id");
+}
