@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_amm_fmm"
+  "../bench/bench_fig10_amm_fmm.pdb"
+  "CMakeFiles/bench_fig10_amm_fmm.dir/bench_fig10_amm_fmm.cpp.o"
+  "CMakeFiles/bench_fig10_amm_fmm.dir/bench_fig10_amm_fmm.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_amm_fmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

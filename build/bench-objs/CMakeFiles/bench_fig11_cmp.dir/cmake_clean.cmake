@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig11_cmp"
+  "../bench/bench_fig11_cmp.pdb"
+  "CMakeFiles/bench_fig11_cmp.dir/bench_fig11_cmp.cpp.o"
+  "CMakeFiles/bench_fig11_cmp.dir/bench_fig11_cmp.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_cmp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

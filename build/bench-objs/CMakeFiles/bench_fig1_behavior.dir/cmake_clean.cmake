@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig1_behavior"
+  "../bench/bench_fig1_behavior.pdb"
+  "CMakeFiles/bench_fig1_behavior.dir/bench_fig1_behavior.cpp.o"
+  "CMakeFiles/bench_fig1_behavior.dir/bench_fig1_behavior.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_behavior.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_wavefronts"
+  "../bench/bench_fig6_wavefronts.pdb"
+  "CMakeFiles/bench_fig6_wavefronts.dir/bench_fig6_wavefronts.cpp.o"
+  "CMakeFiles/bench_fig6_wavefronts.dir/bench_fig6_wavefronts.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_wavefronts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

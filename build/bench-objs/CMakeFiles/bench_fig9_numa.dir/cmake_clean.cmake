@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9_numa"
+  "../bench/bench_fig9_numa.pdb"
+  "CMakeFiles/bench_fig9_numa.dir/bench_fig9_numa.cpp.o"
+  "CMakeFiles/bench_fig9_numa.dir/bench_fig9_numa.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_numa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

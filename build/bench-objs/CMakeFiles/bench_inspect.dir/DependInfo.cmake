@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_inspect.cpp" "bench-objs/CMakeFiles/bench_inspect.dir/bench_inspect.cpp.o" "gcc" "bench-objs/CMakeFiles/bench_inspect.dir/bench_inspect.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/tlsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/tlsim_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/tls/CMakeFiles/tlsim_tls.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/tlsim_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/tlsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/tlsim_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tlsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_inspect"
+  "../bench/bench_inspect.pdb"
+  "CMakeFiles/bench_inspect.dir/bench_inspect.cpp.o"
+  "CMakeFiles/bench_inspect.dir/bench_inspect.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

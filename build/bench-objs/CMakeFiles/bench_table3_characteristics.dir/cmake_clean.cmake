@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table3_characteristics"
+  "../bench/bench_table3_characteristics.pdb"
+  "CMakeFiles/bench_table3_characteristics.dir/bench_table3_characteristics.cpp.o"
+  "CMakeFiles/bench_table3_characteristics.dir/bench_table3_characteristics.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_characteristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

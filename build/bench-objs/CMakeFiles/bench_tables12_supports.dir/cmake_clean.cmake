@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tables12_supports"
+  "../bench/bench_tables12_supports.pdb"
+  "CMakeFiles/bench_tables12_supports.dir/bench_tables12_supports.cpp.o"
+  "CMakeFiles/bench_tables12_supports.dir/bench_tables12_supports.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tables12_supports.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

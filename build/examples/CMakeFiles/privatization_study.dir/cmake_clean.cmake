@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/privatization_study.dir/privatization_study.cpp.o"
+  "CMakeFiles/privatization_study.dir/privatization_study.cpp.o.d"
+  "privatization_study"
+  "privatization_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/privatization_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

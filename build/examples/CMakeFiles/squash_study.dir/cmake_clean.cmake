@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/squash_study.dir/squash_study.cpp.o"
+  "CMakeFiles/squash_study.dir/squash_study.cpp.o.d"
+  "squash_study"
+  "squash_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/squash_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlsim_apps.dir/app_suite.cpp.o"
+  "CMakeFiles/tlsim_apps.dir/app_suite.cpp.o.d"
+  "CMakeFiles/tlsim_apps.dir/loop_workload.cpp.o"
+  "CMakeFiles/tlsim_apps.dir/loop_workload.cpp.o.d"
+  "libtlsim_apps.a"
+  "libtlsim_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlsim_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

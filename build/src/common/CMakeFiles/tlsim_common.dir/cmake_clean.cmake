@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlsim_common.dir/event_queue.cpp.o"
+  "CMakeFiles/tlsim_common.dir/event_queue.cpp.o.d"
+  "CMakeFiles/tlsim_common.dir/log.cpp.o"
+  "CMakeFiles/tlsim_common.dir/log.cpp.o.d"
+  "CMakeFiles/tlsim_common.dir/stats.cpp.o"
+  "CMakeFiles/tlsim_common.dir/stats.cpp.o.d"
+  "CMakeFiles/tlsim_common.dir/table.cpp.o"
+  "CMakeFiles/tlsim_common.dir/table.cpp.o.d"
+  "libtlsim_common.a"
+  "libtlsim_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlsim_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/cache.cpp" "src/mem/CMakeFiles/tlsim_mem.dir/cache.cpp.o" "gcc" "src/mem/CMakeFiles/tlsim_mem.dir/cache.cpp.o.d"
+  "/root/repo/src/mem/machine_params.cpp" "src/mem/CMakeFiles/tlsim_mem.dir/machine_params.cpp.o" "gcc" "src/mem/CMakeFiles/tlsim_mem.dir/machine_params.cpp.o.d"
+  "/root/repo/src/mem/overflow_area.cpp" "src/mem/CMakeFiles/tlsim_mem.dir/overflow_area.cpp.o" "gcc" "src/mem/CMakeFiles/tlsim_mem.dir/overflow_area.cpp.o.d"
+  "/root/repo/src/mem/undo_log.cpp" "src/mem/CMakeFiles/tlsim_mem.dir/undo_log.cpp.o" "gcc" "src/mem/CMakeFiles/tlsim_mem.dir/undo_log.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tlsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

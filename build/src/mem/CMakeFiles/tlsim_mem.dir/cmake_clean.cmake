@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlsim_mem.dir/cache.cpp.o"
+  "CMakeFiles/tlsim_mem.dir/cache.cpp.o.d"
+  "CMakeFiles/tlsim_mem.dir/machine_params.cpp.o"
+  "CMakeFiles/tlsim_mem.dir/machine_params.cpp.o.d"
+  "CMakeFiles/tlsim_mem.dir/overflow_area.cpp.o"
+  "CMakeFiles/tlsim_mem.dir/overflow_area.cpp.o.d"
+  "CMakeFiles/tlsim_mem.dir/undo_log.cpp.o"
+  "CMakeFiles/tlsim_mem.dir/undo_log.cpp.o.d"
+  "libtlsim_mem.a"
+  "libtlsim_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlsim_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

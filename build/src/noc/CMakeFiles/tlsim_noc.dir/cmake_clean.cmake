@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlsim_noc.dir/crossbar.cpp.o"
+  "CMakeFiles/tlsim_noc.dir/crossbar.cpp.o.d"
+  "CMakeFiles/tlsim_noc.dir/mesh.cpp.o"
+  "CMakeFiles/tlsim_noc.dir/mesh.cpp.o.d"
+  "libtlsim_noc.a"
+  "libtlsim_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlsim_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

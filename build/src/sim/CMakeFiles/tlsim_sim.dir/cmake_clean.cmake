@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlsim_sim.dir/study.cpp.o"
+  "CMakeFiles/tlsim_sim.dir/study.cpp.o.d"
+  "libtlsim_sim.a"
+  "libtlsim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlsim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

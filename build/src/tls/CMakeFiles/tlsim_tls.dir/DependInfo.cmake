@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tls/engine.cpp" "src/tls/CMakeFiles/tlsim_tls.dir/engine.cpp.o" "gcc" "src/tls/CMakeFiles/tlsim_tls.dir/engine.cpp.o.d"
+  "/root/repo/src/tls/engine_access.cpp" "src/tls/CMakeFiles/tlsim_tls.dir/engine_access.cpp.o" "gcc" "src/tls/CMakeFiles/tlsim_tls.dir/engine_access.cpp.o.d"
+  "/root/repo/src/tls/scheme.cpp" "src/tls/CMakeFiles/tlsim_tls.dir/scheme.cpp.o" "gcc" "src/tls/CMakeFiles/tlsim_tls.dir/scheme.cpp.o.d"
+  "/root/repo/src/tls/task.cpp" "src/tls/CMakeFiles/tlsim_tls.dir/task.cpp.o" "gcc" "src/tls/CMakeFiles/tlsim_tls.dir/task.cpp.o.d"
+  "/root/repo/src/tls/version_map.cpp" "src/tls/CMakeFiles/tlsim_tls.dir/version_map.cpp.o" "gcc" "src/tls/CMakeFiles/tlsim_tls.dir/version_map.cpp.o.d"
+  "/root/repo/src/tls/violation_detector.cpp" "src/tls/CMakeFiles/tlsim_tls.dir/violation_detector.cpp.o" "gcc" "src/tls/CMakeFiles/tlsim_tls.dir/violation_detector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tlsim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/tlsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/tlsim_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/tlsim_noc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlsim_tls.dir/engine.cpp.o"
+  "CMakeFiles/tlsim_tls.dir/engine.cpp.o.d"
+  "CMakeFiles/tlsim_tls.dir/engine_access.cpp.o"
+  "CMakeFiles/tlsim_tls.dir/engine_access.cpp.o.d"
+  "CMakeFiles/tlsim_tls.dir/scheme.cpp.o"
+  "CMakeFiles/tlsim_tls.dir/scheme.cpp.o.d"
+  "CMakeFiles/tlsim_tls.dir/task.cpp.o"
+  "CMakeFiles/tlsim_tls.dir/task.cpp.o.d"
+  "CMakeFiles/tlsim_tls.dir/version_map.cpp.o"
+  "CMakeFiles/tlsim_tls.dir/version_map.cpp.o.d"
+  "CMakeFiles/tlsim_tls.dir/violation_detector.cpp.o"
+  "CMakeFiles/tlsim_tls.dir/violation_detector.cpp.o.d"
+  "libtlsim_tls.a"
+  "libtlsim_tls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlsim_tls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

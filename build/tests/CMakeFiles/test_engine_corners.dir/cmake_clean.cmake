@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_engine_corners.dir/test_engine_corners.cpp.o"
+  "CMakeFiles/test_engine_corners.dir/test_engine_corners.cpp.o.d"
+  "test_engine_corners"
+  "test_engine_corners.pdb"
+  "test_engine_corners[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_engine_corners.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_engine_schemes.dir/test_engine_schemes.cpp.o"
+  "CMakeFiles/test_engine_schemes.dir/test_engine_schemes.cpp.o.d"
+  "test_engine_schemes"
+  "test_engine_schemes.pdb"
+  "test_engine_schemes[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_engine_schemes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_engine_squash.dir/test_engine_squash.cpp.o"
+  "CMakeFiles/test_engine_squash.dir/test_engine_squash.cpp.o.d"
+  "test_engine_squash"
+  "test_engine_squash.pdb"
+  "test_engine_squash[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_engine_squash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

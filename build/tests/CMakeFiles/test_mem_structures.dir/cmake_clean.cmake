@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mem_structures.dir/test_mem_structures.cpp.o"
+  "CMakeFiles/test_mem_structures.dir/test_mem_structures.cpp.o.d"
+  "test_mem_structures"
+  "test_mem_structures.pdb"
+  "test_mem_structures[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mem_structures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

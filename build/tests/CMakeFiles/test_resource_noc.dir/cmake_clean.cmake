@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_resource_noc.dir/test_resource_noc.cpp.o"
+  "CMakeFiles/test_resource_noc.dir/test_resource_noc.cpp.o.d"
+  "test_resource_noc"
+  "test_resource_noc.pdb"
+  "test_resource_noc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_resource_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

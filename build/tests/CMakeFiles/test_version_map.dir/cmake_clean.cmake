@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_version_map.dir/test_version_map.cpp.o"
+  "CMakeFiles/test_version_map.dir/test_version_map.cpp.o.d"
+  "test_version_map"
+  "test_version_map.pdb"
+  "test_version_map[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_version_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_violation_detector.dir/test_violation_detector.cpp.o"
+  "CMakeFiles/test_violation_detector.dir/test_violation_detector.cpp.o.d"
+  "test_violation_detector"
+  "test_violation_detector.pdb"
+  "test_violation_detector[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_violation_detector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
