@@ -13,12 +13,15 @@
 
 #include <cstdio>
 
+#include "bench_common.hpp"
 #include "common/table.hpp"
 #include "sim/study.hpp"
 
 using namespace tlsim;
 
 namespace {
+
+unsigned g_threads = 0; // --threads; 0 = auto
 
 tls::SchemeConfig
 mv(tls::Merging merge, bool sw = false)
@@ -30,7 +33,7 @@ double
 meanExec(const apps::AppParams &app, const tls::SchemeConfig &scheme,
          const mem::MachineParams &machine, unsigned reps = 2)
 {
-    return sim::runAppStudy(app, {scheme}, machine, reps)
+    return sim::runAppStudy(app, {scheme}, machine, reps, g_threads)
         .outcomes[0]
         .meanExecTime;
 }
@@ -38,8 +41,9 @@ meanExec(const apps::AppParams &app, const tls::SchemeConfig &scheme,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    g_threads = bench::parseThreads(argc, argv);
     mem::MachineParams numa = mem::MachineParams::numa16();
 
     // ---- A: overflow-area cost sweep (P3m, Lazy AMM) ----
@@ -82,7 +86,8 @@ main()
             mem::MachineParams m = numa;
             m.l2 = mem::CacheGeometry::of(g.size, g.assoc);
             sim::AppStudy study = sim::runAppStudy(
-                apps::p3m(), {mv(tls::Merging::LazyAMM)}, m, 2);
+                apps::p3m(), {mv(tls::Merging::LazyAMM)}, m, 2,
+                g_threads);
             t.addRow({g.name,
                       TextTable::fmt(
                           study.outcomes[0].meanExecTime / 1e6, 2) +
@@ -106,9 +111,9 @@ main()
             mem::MachineParams line_m = numa;
             line_m.wordGranularityDetection = false;
             sim::AppStudy word_s = sim::runAppStudy(
-                app, {mv(tls::Merging::LazyAMM)}, numa, 2);
+                app, {mv(tls::Merging::LazyAMM)}, numa, 2, g_threads);
             sim::AppStudy line_s = sim::runAppStudy(
-                app, {mv(tls::Merging::LazyAMM)}, line_m, 2);
+                app, {mv(tls::Merging::LazyAMM)}, line_m, 2, g_threads);
             t.addRow({app.name,
                       TextTable::fmt(word_s.outcomes[0].meanSquashes, 1),
                       TextTable::fmt(line_s.outcomes[0].meanSquashes, 1),

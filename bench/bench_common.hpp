@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Shared helpers for the figure/table bench drivers.
+ */
+
+#ifndef TLSIM_BENCH_BENCH_COMMON_HPP
+#define TLSIM_BENCH_BENCH_COMMON_HPP
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/task_pool.hpp"
+
+namespace tlsim::bench {
+
+/**
+ * Parse a `--threads N` / `--threads=N` flag for sweep drivers.
+ *
+ * Returns 0 ("auto": TLSIM_THREADS env, else hardware concurrency)
+ * when the flag is absent. The thread count only affects wall-clock
+ * time — every figure table is byte-identical at any value.
+ */
+inline unsigned
+parseThreads(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        const char *value = nullptr;
+        if (std::strcmp(arg, "--threads") == 0) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "--threads wants a count\n");
+                std::exit(1);
+            }
+            value = argv[i + 1];
+        } else if (std::strncmp(arg, "--threads=", 10) == 0) {
+            value = arg + 10;
+        }
+        if (value) {
+            long v = std::atol(value);
+            if (v < 1) {
+                std::fprintf(stderr, "--threads wants a count >= 1, "
+                                     "got '%s'\n",
+                             value);
+                std::exit(1);
+            }
+            return unsigned(v);
+        }
+    }
+    return 0;
+}
+
+} // namespace tlsim::bench
+
+#endif // TLSIM_BENCH_BENCH_COMMON_HPP

@@ -12,14 +12,16 @@
 
 #include <cstdio>
 
+#include "bench_common.hpp"
 #include "common/table.hpp"
 #include "sim/study.hpp"
 
 using namespace tlsim;
 
 int
-main()
+main(int argc, char **argv)
 {
+    unsigned threads = bench::parseThreads(argc, argv);
     mem::MachineParams machine = mem::MachineParams::numa16();
     std::vector<tls::SchemeConfig> schemes = {
         {tls::Separation::MultiTMV, tls::Merging::EagerAMM, false},
@@ -28,9 +30,8 @@ main()
         {tls::Separation::MultiTMV, tls::Merging::FMM, true},
     };
 
-    std::vector<sim::AppStudy> studies;
-    for (const apps::AppParams &app : apps::appSuite())
-        studies.push_back(sim::runAppStudy(app, schemes, machine, 3));
+    std::vector<sim::AppStudy> studies =
+        sim::runStudySweep(apps::appSuite(), schemes, machine, 3, threads);
 
     std::fputs(sim::renderFigure(
                    "Figure 10 — architectural vs future main memory "
@@ -46,7 +47,7 @@ main()
     sim::AppStudy lazy_l2_study = sim::runAppStudy(
         apps::p3m(),
         {{tls::Separation::MultiTMV, tls::Merging::LazyAMM, false}},
-        big_l2, 3);
+        big_l2, 3, threads);
     const sim::AppStudy &p3m_study = studies[0];
     double norm = lazy_l2_study.outcomes[0].meanExecTime /
                   p3m_study.outcomes[0].meanExecTime;

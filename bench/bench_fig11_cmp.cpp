@@ -11,13 +11,15 @@
 
 #include <cstdio>
 
+#include "bench_common.hpp"
 #include "sim/study.hpp"
 
 using namespace tlsim;
 
 int
-main()
+main(int argc, char **argv)
 {
+    unsigned threads = bench::parseThreads(argc, argv);
     mem::MachineParams machine = mem::MachineParams::cmp8();
     std::vector<tls::SchemeConfig> schemes = {
         {tls::Separation::SingleT, tls::Merging::EagerAMM, false},
@@ -28,9 +30,8 @@ main()
         {tls::Separation::MultiTMV, tls::Merging::LazyAMM, false},
     };
 
-    std::vector<sim::AppStudy> studies;
-    for (const apps::AppParams &app : apps::appSuite())
-        studies.push_back(sim::runAppStudy(app, schemes, machine, 3));
+    std::vector<sim::AppStudy> studies =
+        sim::runStudySweep(apps::appSuite(), schemes, machine, 3, threads);
 
     std::fputs(sim::renderFigure(
                    "Figure 11 — task-state separation x eager/lazy AMM "

@@ -8,14 +8,16 @@
 
 #include <cstdio>
 
+#include "bench_common.hpp"
 #include "common/table.hpp"
 #include "sim/study.hpp"
 
 using namespace tlsim;
 
 int
-main()
+main(int argc, char **argv)
 {
+    unsigned threads = bench::parseThreads(argc, argv);
     // As in the paper, measured under a scheme where tasks do not
     // stall (MultiT&MV) on the CC-NUMA.
     tls::SchemeConfig scheme{tls::Separation::MultiTMV,
@@ -26,8 +28,17 @@ main()
                      "#Spec tasks per proc", "Written/task KB (paper)",
                      "Priv % (paper)"});
 
-    for (const apps::AppParams &app : apps::appSuite()) {
-        tls::RunResult run = sim::runScheme(app, scheme, numa);
+    // Simulate every app in parallel, then render rows in suite order.
+    std::vector<apps::AppParams> suite = apps::appSuite();
+    std::vector<tls::RunResult> runs(suite.size());
+    parallelFor(
+        suite.size(),
+        [&](std::size_t i) { runs[i] = sim::runScheme(suite[i], scheme, numa); },
+        threads);
+
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+        const apps::AppParams &app = suite[i];
+        const tls::RunResult &run = runs[i];
         char written[64], priv[64];
         std::snprintf(written, sizeof(written), "%.1f (%.1f)",
                       run.avgWrittenKb, app.paperWrittenKb);

@@ -8,14 +8,16 @@
 
 #include <cstdio>
 
+#include "bench_common.hpp"
 #include "common/table.hpp"
 #include "sim/study.hpp"
 
 using namespace tlsim;
 
 int
-main()
+main(int argc, char **argv)
 {
+    unsigned threads = bench::parseThreads(argc, argv);
     tls::SchemeConfig mv_eager{tls::Separation::MultiTMV,
                                tls::Merging::EagerAMM, false};
     mem::MachineParams numa = mem::MachineParams::numa16();
@@ -26,9 +28,26 @@ main()
                      "Squash/task", "Load Imbal", "Priv Pattern",
                      "C/E class"});
 
-    for (const apps::AppParams &app : apps::appSuite()) {
-        tls::RunResult numa_run = sim::runScheme(app, mv_eager, numa);
-        tls::RunResult cmp_run = sim::runScheme(app, mv_eager, cmp);
+    // Both machine points of every app fan out together; the table is
+    // rendered in suite order afterwards.
+    std::vector<apps::AppParams> suite = apps::appSuite();
+    std::vector<tls::RunResult> numa_runs(suite.size());
+    std::vector<tls::RunResult> cmp_runs(suite.size());
+    parallelFor(
+        suite.size() * 2,
+        [&](std::size_t i) {
+            const apps::AppParams &app = suite[i / 2];
+            if (i % 2 == 0)
+                numa_runs[i / 2] = sim::runScheme(app, mv_eager, numa);
+            else
+                cmp_runs[i / 2] = sim::runScheme(app, mv_eager, cmp);
+        },
+        threads);
+
+    for (std::size_t a = 0; a < suite.size(); ++a) {
+        const apps::AppParams &app = suite[a];
+        const tls::RunResult &numa_run = numa_runs[a];
+        const tls::RunResult &cmp_run = cmp_runs[a];
 
         double measured_instr = 0;
         // Mean instructions follow directly from the generator.

@@ -7,8 +7,8 @@
  * Usage:
  *   explore [--app NAME] [--sep singlet|sv|mv] [--merge eager|lazy|fmm|fmmsw]
  *           [--machine numa|cmp] [--tasks N] [--seed S] [--reps R]
- *           [--l2kb KB] [--l2assoc W] [--no-overflow] [--line-detect]
- *           [--list]
+ *           [--threads T] [--l2kb KB] [--l2assoc W] [--no-overflow]
+ *           [--line-detect] [--list]
  *
  * Examples:
  *   explore --app Euler --merge fmm
@@ -33,8 +33,8 @@ usage(const char *argv0)
                  "usage: %s [--app NAME] [--sep singlet|sv|mv] "
                  "[--merge eager|lazy|fmm|fmmsw] [--machine numa|cmp]\n"
                  "          [--tasks N] [--seed S] [--reps R] "
-                 "[--l2kb KB] [--l2assoc W] [--no-overflow] "
-                 "[--line-detect] [--list]\n",
+                 "[--threads T] [--l2kb KB] [--l2assoc W] "
+                 "[--no-overflow] [--line-detect] [--list]\n",
                  argv0);
     std::exit(1);
 }
@@ -49,7 +49,7 @@ main(int argc, char **argv)
     tls::Merging merge = tls::Merging::LazyAMM;
     bool sw_log = false;
     bool numa = true;
-    unsigned tasks = 0, reps = 1;
+    unsigned tasks = 0, reps = 1, threads = 0;
     std::uint64_t seed = 0;
     std::uint64_t l2kb = 0;
     unsigned l2assoc = 0;
@@ -86,6 +86,8 @@ main(int argc, char **argv)
             seed = std::strtoull(next(), nullptr, 0);
         } else if (arg == "--reps") {
             reps = unsigned(std::atoi(next()));
+        } else if (arg == "--threads") {
+            threads = unsigned(std::atoi(next()));
         } else if (arg == "--l2kb") {
             l2kb = std::strtoull(next(), nullptr, 0);
         } else if (arg == "--l2assoc") {
@@ -144,7 +146,7 @@ main(int argc, char **argv)
 
     tls::SchemeConfig scheme{sep, merge, sw_log};
     sim::AppStudy study =
-        sim::runAppStudy(app, {scheme}, machine, reps);
+        sim::runAppStudy(app, {scheme}, machine, reps, threads);
     const sim::SchemeOutcome &out = study.outcomes[0];
     const tls::RunResult &r = out.result;
 

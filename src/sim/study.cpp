@@ -3,7 +3,9 @@
 #include <sstream>
 
 #include "common/log.hpp"
+#include "common/rng.hpp"
 #include "common/table.hpp"
+#include "common/task_pool.hpp"
 
 namespace tlsim::sim {
 
@@ -45,36 +47,125 @@ runSequential(const apps::AppParams &app,
     return engine.run();
 }
 
+std::uint64_t
+derivePointSeed(std::uint64_t base_seed, const std::string &app_name,
+                const tls::SchemeConfig &scheme, unsigned replication)
+{
+    // FNV-1a over the app name, then splitmix64 rounds folding in the
+    // replication index. Nothing depends on the order points are
+    // submitted or drawn. The scheme is deliberately NOT folded in:
+    // the paper's figures compare schemes on the *same* application
+    // run, so every scheme of a given (app, replication) must see the
+    // identical workload draw — otherwise heavy-tailed apps (P3m)
+    // turn normalized columns into seed noise.
+    (void)scheme;
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (unsigned char c : app_name)
+        h = (h ^ c) * 0x100000001b3ULL;
+    std::uint64_t state = base_seed ^ h;
+    state ^= splitmix64(state) + replication;
+    return splitmix64(state);
+}
+
+namespace {
+
+/** Replication 0..reps-1 of one (app, scheme) point. */
+tls::RunResult
+runReplication(const apps::AppParams &app, const tls::SchemeConfig &scheme,
+               const mem::MachineParams &machine, unsigned rep)
+{
+    apps::AppParams varied = app;
+    varied.seed = derivePointSeed(app.seed, app.name, scheme, rep);
+    return runScheme(varied, scheme, machine);
+}
+
+/**
+ * Fold per-replication results into one SchemeOutcome, in replication
+ * order (fixed floating-point summation order at any thread count).
+ */
+SchemeOutcome
+aggregateOutcome(const tls::SchemeConfig &scheme, Cycle seq_time,
+                 std::vector<tls::RunResult> &reps)
+{
+    SchemeOutcome out;
+    out.scheme = scheme;
+    double exec_sum = 0.0;
+    double squash_sum = 0.0;
+    for (const tls::RunResult &r : reps) {
+        exec_sum += double(r.execTime);
+        squash_sum += double(r.squashEvents);
+    }
+    out.meanExecTime = exec_sum / double(reps.size());
+    out.meanSquashes = squash_sum / double(reps.size());
+    if (out.meanExecTime > 0 && seq_time > 0)
+        out.speedup = double(seq_time) / out.meanExecTime;
+    out.result = std::move(reps.front());
+    return out;
+}
+
+} // namespace
+
+std::vector<AppStudy>
+runStudySweep(const std::vector<apps::AppParams> &apps,
+              const std::vector<tls::SchemeConfig> &schemes,
+              const mem::MachineParams &machine, unsigned replications,
+              unsigned threads)
+{
+    const unsigned reps = std::max(1u, replications);
+    const std::size_t n_apps = apps.size();
+    const std::size_t n_schemes = schemes.size();
+
+    // One result slot per job; jobs write only their own slot, and
+    // aggregation below reads slots in fixed sweep order, so output is
+    // independent of scheduling.
+    std::vector<Cycle> seq_times(n_apps, 0);
+    std::vector<tls::RunResult> runs(n_apps * n_schemes * reps);
+
+    TaskPool pool(threads);
+    for (std::size_t a = 0; a < n_apps; ++a) {
+        pool.submit([&, a] {
+            seq_times[a] = runSequential(apps[a], machine).execTime;
+        });
+        for (std::size_t s = 0; s < n_schemes; ++s) {
+            for (unsigned rep = 0; rep < reps; ++rep) {
+                std::size_t slot = (a * n_schemes + s) * reps + rep;
+                pool.submit([&, a, s, rep, slot] {
+                    runs[slot] =
+                        runReplication(apps[a], schemes[s], machine, rep);
+                });
+            }
+        }
+    }
+    pool.wait();
+
+    std::vector<AppStudy> studies;
+    studies.reserve(n_apps);
+    for (std::size_t a = 0; a < n_apps; ++a) {
+        AppStudy study;
+        study.app = apps[a];
+        study.machine = machine;
+        study.seqTime = seq_times[a];
+        for (std::size_t s = 0; s < n_schemes; ++s) {
+            std::size_t base = (a * n_schemes + s) * reps;
+            std::vector<tls::RunResult> rep_results(
+                std::make_move_iterator(runs.begin() + base),
+                std::make_move_iterator(runs.begin() + base + reps));
+            study.outcomes.push_back(
+                aggregateOutcome(schemes[s], study.seqTime, rep_results));
+        }
+        studies.push_back(std::move(study));
+    }
+    return studies;
+}
+
 AppStudy
 runAppStudy(const apps::AppParams &app,
             const std::vector<tls::SchemeConfig> &schemes,
-            const mem::MachineParams &machine, unsigned replications)
+            const mem::MachineParams &machine, unsigned replications,
+            unsigned threads)
 {
-    AppStudy study;
-    study.app = app;
-    study.machine = machine;
-    study.seqTime = runSequential(app, machine).execTime;
-    for (const tls::SchemeConfig &scheme : schemes) {
-        SchemeOutcome out;
-        out.scheme = scheme;
-        double exec_sum = 0.0;
-        double squash_sum = 0.0;
-        for (unsigned rep = 0; rep < std::max(1u, replications); ++rep) {
-            apps::AppParams varied = app;
-            varied.seed = app.seed + std::uint64_t(rep) * 0x10001;
-            tls::RunResult r = runScheme(varied, scheme, machine);
-            exec_sum += double(r.execTime);
-            squash_sum += double(r.squashEvents);
-            if (rep == 0)
-                out.result = std::move(r);
-        }
-        out.meanExecTime = exec_sum / std::max(1u, replications);
-        out.meanSquashes = squash_sum / std::max(1u, replications);
-        if (out.meanExecTime > 0)
-            out.speedup = double(study.seqTime) / out.meanExecTime;
-        study.outcomes.push_back(std::move(out));
-    }
-    return study;
+    return runStudySweep({app}, schemes, machine, replications,
+                         threads)[0];
 }
 
 std::string

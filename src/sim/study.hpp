@@ -3,11 +3,21 @@
  * High-level drivers: run an application under one or many schemes on
  * one machine, normalize against SingleT-Eager and the sequential
  * baseline, and render paper-style figure tables.
+ *
+ * Sweeps are parallel: every (app, scheme, replication) point — plus
+ * each app's sequential baseline — is an independent simulation, so
+ * the runners fan points out over a TaskPool and aggregate results in
+ * deterministic sweep order. Each point's workload seed is derived by
+ * hashing the point's identity (see derivePointSeed), never from draw
+ * order, so figure tables are byte-identical at any thread count
+ * (including 1). Thread count: explicit argument > TLSIM_THREADS env
+ * > hardware concurrency.
  */
 
 #ifndef TLSIM_SIM_STUDY_HPP
 #define TLSIM_SIM_STUDY_HPP
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -56,14 +66,52 @@ tls::RunResult runSequential(const apps::AppParams &app,
                              const mem::MachineParams &machine);
 
 /**
+ * Workload seed of one (app, scheme, replication) sweep point.
+ *
+ * A pure hash of the point's identity — never of the order points are
+ * drawn in — so a sweep can run its points in any order, on any number
+ * of threads, and every point still simulates the same workload.
+ *
+ * The scheme parameter is part of the point's identity but is
+ * intentionally ignored by the hash: the paper compares schemes on
+ * the same application run, so all schemes of one (app, replication)
+ * share one workload draw (paired comparison). It stays in the
+ * signature so per-scheme decorrelation is a one-line change if a
+ * study ever wants it.
+ */
+std::uint64_t derivePointSeed(std::uint64_t base_seed,
+                              const std::string &app_name,
+                              const tls::SchemeConfig &scheme,
+                              unsigned replication);
+
+/**
  * Run one app under a list of schemes (plus the baseline).
- * @param replications runs per scheme with perturbed seeds; results
- *        are averaged (squash timing makes single runs noisy).
+ * @param replications runs per scheme with derived seeds (see
+ *        derivePointSeed); results are averaged (squash timing makes
+ *        single runs noisy).
+ * @param threads worker threads for the sweep; 0 = TLSIM_THREADS env
+ *        or hardware concurrency, 1 = sequential. Results are
+ *        identical for every value.
  */
 AppStudy runAppStudy(const apps::AppParams &app,
                      const std::vector<tls::SchemeConfig> &schemes,
                      const mem::MachineParams &machine,
-                     unsigned replications = 1);
+                     unsigned replications = 1, unsigned threads = 0);
+
+/**
+ * Run a whole figure sweep: every app under every scheme, plus each
+ * app's sequential baseline, as one flat pool of parallel jobs.
+ *
+ * Equivalent to calling runAppStudy per app (identical output down to
+ * the byte), but exposes sweep-wide parallelism: all
+ * apps x schemes x replications points fan out together instead of
+ * barriers at each app.
+ */
+std::vector<AppStudy>
+runStudySweep(const std::vector<apps::AppParams> &apps,
+              const std::vector<tls::SchemeConfig> &schemes,
+              const mem::MachineParams &machine,
+              unsigned replications = 1, unsigned threads = 0);
 
 /**
  * Render a figure-9/10/11-style table: one row per (app, scheme) with

@@ -1,0 +1,273 @@
+/**
+ * @file
+ * Tests for the TaskPool scheduler and the parallel sweep runner's
+ * determinism contract: a fixed-seed Figure-9-style sweep must produce
+ * byte-identical results at 1, 2 and 8 threads.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "common/task_pool.hpp"
+#include "sim/study.hpp"
+
+using namespace tlsim;
+
+// ---------------------------------------------------------------
+// TaskPool / parallelFor scheduler
+// ---------------------------------------------------------------
+
+TEST(TaskPool, RunsEverySubmittedJob)
+{
+    for (unsigned threads : {1u, 2u, 8u}) {
+        TaskPool pool(threads);
+        std::atomic<int> done{0};
+        for (int i = 0; i < 64; ++i)
+            pool.submit([&done] { done.fetch_add(1); });
+        pool.wait();
+        EXPECT_EQ(done.load(), 64) << "threads=" << threads;
+    }
+}
+
+TEST(TaskPool, IsReusableAfterWait)
+{
+    TaskPool pool(4);
+    std::atomic<int> done{0};
+    for (int round = 0; round < 3; ++round) {
+        for (int i = 0; i < 16; ++i)
+            pool.submit([&done] { done.fetch_add(1); });
+        pool.wait();
+        EXPECT_EQ(done.load(), 16 * (round + 1));
+    }
+}
+
+TEST(TaskPool, WaitRethrowsFirstJobException)
+{
+    for (unsigned threads : {1u, 4u}) {
+        TaskPool pool(threads);
+        std::atomic<int> done{0};
+        for (int i = 0; i < 8; ++i)
+            pool.submit([&done, i] {
+                if (i == 3)
+                    throw std::runtime_error("job failed");
+                done.fetch_add(1);
+            });
+        EXPECT_THROW(pool.wait(), std::runtime_error)
+            << "threads=" << threads;
+        // The other jobs still ran: slots stay consistent on error.
+        EXPECT_EQ(done.load(), 7);
+        // And the error does not stick to the next batch.
+        pool.submit([&done] { done.fetch_add(1); });
+        EXPECT_NO_THROW(pool.wait());
+    }
+}
+
+TEST(TaskPool, SingleThreadPoolRunsInline)
+{
+    // With one thread, jobs execute in submission order on the calling
+    // thread — the sequential baseline of the determinism contract.
+    TaskPool pool(1);
+    std::vector<int> order;
+    for (int i = 0; i < 8; ++i)
+        pool.submit([&order, i] { order.push_back(i); });
+    pool.wait();
+    ASSERT_EQ(order.size(), 8u);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(ParallelFor, VisitsEachIndexExactlyOnce)
+{
+    for (unsigned threads : {1u, 2u, 8u}) {
+        std::vector<std::atomic<int>> visits(100);
+        parallelFor(
+            100, [&](std::size_t i) { visits[i].fetch_add(1); }, threads);
+        for (std::size_t i = 0; i < visits.size(); ++i)
+            ASSERT_EQ(visits[i].load(), 1)
+                << "i=" << i << " threads=" << threads;
+    }
+}
+
+TEST(ParallelFor, HandlesEmptyAndSingleRanges)
+{
+    std::atomic<int> calls{0};
+    parallelFor(0, [&](std::size_t) { calls.fetch_add(1); }, 8);
+    EXPECT_EQ(calls.load(), 0);
+    parallelFor(1, [&](std::size_t) { calls.fetch_add(1); }, 8);
+    EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ParallelFor, PropagatesExceptions)
+{
+    EXPECT_THROW(parallelFor(
+                     16,
+                     [](std::size_t i) {
+                         if (i == 5)
+                             throw std::runtime_error("boom");
+                     },
+                     4),
+                 std::runtime_error);
+}
+
+TEST(ThreadCount, EnvOverrideWins)
+{
+    ASSERT_EQ(setenv("TLSIM_THREADS", "3", 1), 0);
+    EXPECT_EQ(defaultThreadCount(), 3u);
+    EXPECT_EQ(resolveThreadCount(0), 3u);
+    EXPECT_EQ(resolveThreadCount(7), 7u); // explicit beats env
+    ASSERT_EQ(setenv("TLSIM_THREADS", "not-a-number", 1), 0);
+    EXPECT_GE(defaultThreadCount(), 1u); // garbage falls back
+    ASSERT_EQ(unsetenv("TLSIM_THREADS"), 0);
+    EXPECT_GE(defaultThreadCount(), 1u);
+}
+
+// ---------------------------------------------------------------
+// Seed derivation
+// ---------------------------------------------------------------
+
+TEST(PointSeed, IsPureFunctionOfPointIdentity)
+{
+    tls::SchemeConfig mv_lazy{tls::Separation::MultiTMV,
+                              tls::Merging::LazyAMM, false};
+    std::uint64_t s1 = sim::derivePointSeed(42, "Tree", mv_lazy, 1);
+    std::uint64_t s2 = sim::derivePointSeed(42, "Tree", mv_lazy, 1);
+    EXPECT_EQ(s1, s2);
+}
+
+TEST(PointSeed, DistinguishesBaseAppAndReplication)
+{
+    tls::SchemeConfig mv_lazy{tls::Separation::MultiTMV,
+                              tls::Merging::LazyAMM, false};
+    std::set<std::uint64_t> seeds;
+    seeds.insert(sim::derivePointSeed(42, "Tree", mv_lazy, 0));
+    seeds.insert(sim::derivePointSeed(43, "Tree", mv_lazy, 0));
+    seeds.insert(sim::derivePointSeed(42, "Bdna", mv_lazy, 0));
+    seeds.insert(sim::derivePointSeed(42, "Tree", mv_lazy, 1));
+    EXPECT_EQ(seeds.size(), 4u);
+}
+
+TEST(PointSeed, SchemesOfOneReplicationShareTheWorkloadDraw)
+{
+    // Paired comparison: the paper's figures run every scheme on the
+    // same application workload, so the scheme must not perturb the
+    // seed.
+    tls::SchemeConfig mv_lazy{tls::Separation::MultiTMV,
+                              tls::Merging::LazyAMM, false};
+    tls::SchemeConfig st_eager{tls::Separation::SingleT,
+                               tls::Merging::EagerAMM, false};
+    EXPECT_EQ(sim::derivePointSeed(42, "Tree", mv_lazy, 1),
+              sim::derivePointSeed(42, "Tree", st_eager, 1));
+}
+
+// ---------------------------------------------------------------
+// Sweep determinism across thread counts
+// ---------------------------------------------------------------
+
+namespace {
+
+/** Small but non-trivial Figure-9-style sweep: two apps, the eager/
+ *  lazy x separation grid, replicated. */
+std::vector<sim::AppStudy>
+miniFigure9(unsigned threads)
+{
+    apps::AppParams tree = apps::tree();
+    tree.numTasks = 32;
+    tree.instrPerTask = 2500;
+    apps::AppParams euler = apps::euler();
+    euler.numTasks = 32;
+    euler.instrPerTask = 2500;
+
+    std::vector<tls::SchemeConfig> schemes = {
+        {tls::Separation::SingleT, tls::Merging::EagerAMM, false},
+        {tls::Separation::MultiTSV, tls::Merging::LazyAMM, false},
+        {tls::Separation::MultiTMV, tls::Merging::EagerAMM, false},
+        {tls::Separation::MultiTMV, tls::Merging::LazyAMM, false},
+    };
+    return sim::runStudySweep({tree, euler}, schemes,
+                              mem::MachineParams::numa16(), 2, threads);
+}
+
+void
+expectIdenticalResults(const tls::RunResult &a, const tls::RunResult &b)
+{
+    EXPECT_EQ(a.execTime, b.execTime);
+    EXPECT_EQ(a.committedTasks, b.committedTasks);
+    EXPECT_EQ(a.squashEvents, b.squashEvents);
+    EXPECT_EQ(a.tasksSquashed, b.tasksSquashed);
+    EXPECT_EQ(a.avgSpecTasksSystem, b.avgSpecTasksSystem);
+    EXPECT_EQ(a.avgWrittenKb, b.avgWrittenKb);
+    EXPECT_EQ(a.commitExecRatio, b.commitExecRatio);
+    ASSERT_EQ(a.perProc.size(), b.perProc.size());
+    for (std::size_t p = 0; p < a.perProc.size(); ++p)
+        for (std::size_t k = 0; k < kNumCycleKinds; ++k)
+            EXPECT_EQ(a.perProc[p].get(CycleKind(k)),
+                      b.perProc[p].get(CycleKind(k)));
+    ASSERT_EQ(a.counters.entries().size(), b.counters.entries().size());
+    for (std::size_t i = 0; i < a.counters.entries().size(); ++i) {
+        EXPECT_EQ(a.counters.entries()[i].first,
+                  b.counters.entries()[i].first);
+        EXPECT_EQ(a.counters.entries()[i].second,
+                  b.counters.entries()[i].second);
+    }
+}
+
+} // namespace
+
+TEST(ParallelStudy, ByteIdenticalAcrossThreadCounts)
+{
+    std::vector<sim::AppStudy> base = miniFigure9(1);
+    std::string base_figure = sim::renderFigure("determinism", base);
+
+    for (unsigned threads : {2u, 8u}) {
+        std::vector<sim::AppStudy> got = miniFigure9(threads);
+        ASSERT_EQ(got.size(), base.size()) << "threads=" << threads;
+        for (std::size_t a = 0; a < base.size(); ++a) {
+            EXPECT_EQ(got[a].seqTime, base[a].seqTime);
+            ASSERT_EQ(got[a].outcomes.size(), base[a].outcomes.size());
+            for (std::size_t s = 0; s < base[a].outcomes.size(); ++s) {
+                const sim::SchemeOutcome &x = base[a].outcomes[s];
+                const sim::SchemeOutcome &y = got[a].outcomes[s];
+                // Bitwise-equal doubles: summation order is fixed.
+                EXPECT_EQ(x.meanExecTime, y.meanExecTime);
+                EXPECT_EQ(x.meanSquashes, y.meanSquashes);
+                EXPECT_EQ(x.speedup, y.speedup);
+                expectIdenticalResults(x.result, y.result);
+            }
+        }
+        // The rendered figure table must match byte for byte.
+        EXPECT_EQ(sim::renderFigure("determinism", got), base_figure)
+            << "threads=" << threads;
+    }
+}
+
+TEST(ParallelStudy, SweepMatchesPerAppStudies)
+{
+    // runStudySweep is the parallel flattening of runAppStudy per app;
+    // outputs must be interchangeable.
+    apps::AppParams app = apps::track();
+    app.numTasks = 24;
+    app.instrPerTask = 2000;
+    std::vector<tls::SchemeConfig> schemes = {
+        {tls::Separation::MultiTMV, tls::Merging::EagerAMM, false},
+        {tls::Separation::MultiTMV, tls::Merging::FMM, false},
+    };
+    mem::MachineParams machine = mem::MachineParams::cmp8();
+
+    sim::AppStudy single = sim::runAppStudy(app, schemes, machine, 2, 1);
+    std::vector<sim::AppStudy> sweep =
+        sim::runStudySweep({app}, schemes, machine, 2, 4);
+    ASSERT_EQ(sweep.size(), 1u);
+    EXPECT_EQ(sweep[0].seqTime, single.seqTime);
+    ASSERT_EQ(sweep[0].outcomes.size(), single.outcomes.size());
+    for (std::size_t s = 0; s < single.outcomes.size(); ++s) {
+        EXPECT_EQ(sweep[0].outcomes[s].meanExecTime,
+                  single.outcomes[s].meanExecTime);
+        expectIdenticalResults(sweep[0].outcomes[s].result,
+                               single.outcomes[s].result);
+    }
+}

@@ -9,6 +9,7 @@
 #include "common/rng.hpp"
 #include "mem/cache.hpp"
 #include "noc/mesh.hpp"
+#include "sim/study.hpp"
 #include "tls/engine.hpp"
 #include "tls/scripted_workload.hpp"
 
@@ -215,6 +216,66 @@ TEST(EngineProperties, LineGranularityDetectionSquashesAtLeastAsOften)
     tls::RunResult line = run_with(false);
     EXPECT_GT(line.squashEvents, word.squashEvents);
     EXPECT_EQ(line.committedTasks, 24u);
+}
+
+// ---------------------------------------------------------------
+// Accounting invariants over the scheme x app grid
+// ---------------------------------------------------------------
+
+namespace {
+
+/** Scaled-down app so the full grid stays fast. */
+apps::AppParams
+sampledApp(apps::AppParams p)
+{
+    p.numTasks = 24;
+    p.instrPerTask = 2500;
+    return p;
+}
+
+} // namespace
+
+TEST(AccountingInvariants, HoldForEverySchemeOnSampledAppGrid)
+{
+    // A sample of the suite spanning the behavior space: dominant
+    // privatization (Tree), high C/E (Apsi), frequent squashes
+    // (Euler), heavy imbalance + buffered state (P3m).
+    std::vector<apps::AppParams> grid = {
+        sampledApp(apps::tree()), sampledApp(apps::apsi()),
+        sampledApp(apps::euler()), sampledApp(apps::p3m())};
+
+    for (const mem::MachineParams &machine :
+         {mem::MachineParams::numa16(), mem::MachineParams::cmp8()}) {
+        for (const tls::SchemeConfig &scheme :
+             tls::SchemeConfig::evaluatedSchemes()) {
+            for (const apps::AppParams &app : grid) {
+                SCOPED_TRACE(app.name + " / " + scheme.name() + " / " +
+                             machine.name);
+                tls::RunResult r = sim::runScheme(app, scheme, machine);
+
+                // Every processor's cycle breakdown partitions the
+                // run's wall clock exactly.
+                ASSERT_EQ(r.perProc.size(), machine.numProcs);
+                Cycle breakdown_sum = 0;
+                for (const CycleBreakdown &b : r.perProc) {
+                    EXPECT_EQ(b.total(), r.execTime);
+                    breakdown_sum += b.total();
+                }
+                EXPECT_EQ(r.total.total(), breakdown_sum);
+
+                // Squash accounting: every violation event throws away
+                // at least the offending task, and nothing is squashed
+                // without an event.
+                EXPECT_GE(r.tasksSquashed, r.squashEvents);
+                if (r.squashEvents == 0) {
+                    EXPECT_EQ(r.tasksSquashed, 0u);
+                }
+
+                // Every task eventually commits exactly once.
+                EXPECT_EQ(r.committedTasks, app.numTasks);
+            }
+        }
+    }
 }
 
 TEST(EngineProperties, ReplicatedSeedsPerturbExecTimeOnly)

@@ -108,6 +108,68 @@ TEST(Study, RenderFigureContainsEveryRow)
     EXPECT_NE(out.find("Average"), std::string::npos);
 }
 
+TEST(StudyEdgeCases, FigureAveragesOfEmptyStudyListIsEmpty)
+{
+    sim::FigureAverages avg = sim::figureAverages({});
+    EXPECT_TRUE(avg.normTime.empty());
+}
+
+TEST(StudyEdgeCases, RenderFigureOfEmptyStudyListStillRendersHeader)
+{
+    std::string out = sim::renderFigure("empty sweep", {});
+    EXPECT_NE(out.find("empty sweep"), std::string::npos);
+}
+
+TEST(StudyEdgeCases, NormalizedOnEmptyOutcomesIsZero)
+{
+    sim::AppStudy study;
+    EXPECT_EQ(study.normalized(0), 0.0);
+}
+
+TEST(StudyEdgeCases, SingleOutcomeNormalizesToItself)
+{
+    std::vector<tls::SchemeConfig> schemes = {
+        {tls::Separation::MultiTMV, tls::Merging::LazyAMM, false}};
+    sim::AppStudy study = sim::runAppStudy(
+        tinyApp(), schemes, mem::MachineParams::numa16());
+    ASSERT_EQ(study.outcomes.size(), 1u);
+    EXPECT_DOUBLE_EQ(study.normalized(0), 1.0);
+    EXPECT_GT(study.busyShare(0), 0.0);
+    EXPECT_LE(study.busyShare(0), 1.0);
+}
+
+TEST(StudyEdgeCases, ZeroExecTimeOutcomeDoesNotDivideByZero)
+{
+    // An outcome whose first scheme never ran (meanExecTime 0) must
+    // normalize to 0, not NaN/inf.
+    sim::AppStudy study;
+    study.outcomes.resize(2);
+    study.outcomes[0].meanExecTime = 0.0;
+    study.outcomes[1].meanExecTime = 123.0;
+    EXPECT_EQ(study.normalized(0), 0.0);
+    EXPECT_EQ(study.normalized(1), 0.0);
+
+    sim::FigureAverages avg = sim::figureAverages({study});
+    ASSERT_EQ(avg.normTime.size(), 2u);
+    EXPECT_EQ(avg.normTime[0], 0.0);
+    EXPECT_EQ(avg.normTime[1], 0.0);
+}
+
+TEST(StudyEdgeCases, ZeroSeqTimeYieldsZeroSpeedup)
+{
+    // A zero-cycle sequential baseline (degenerate app) must not
+    // produce an infinite or NaN speedup.
+    sim::AppStudy study;
+    study.seqTime = 0;
+    study.outcomes.resize(1);
+    study.outcomes[0].meanExecTime = 1000.0;
+    // speedup defaults to 0 and stays finite by construction.
+    EXPECT_EQ(study.outcomes[0].speedup, 0.0);
+
+    // busyFraction of an untouched RunResult (total 0 cycles).
+    EXPECT_EQ(study.busyShare(0), 0.0);
+}
+
 TEST(Study, SequentialBaselineIsSlowerThanParallel)
 {
     apps::AppParams app = tinyApp();
