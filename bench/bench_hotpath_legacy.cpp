@@ -1,0 +1,49 @@
+#include "bench_hotpath_legacy.hpp"
+
+namespace tlsim::bench {
+
+std::uint64_t
+LegacyEventQueue::schedule(Cycle when, std::function<void()> fn)
+{
+    std::uint64_t id = nextId_++;
+    heap_.push(Entry{when, id, std::move(fn)});
+    ++liveEvents_;
+    return id;
+}
+
+void
+LegacyEventQueue::cancel(std::uint64_t id)
+{
+    if (id == 0 || id >= nextId_)
+        return;
+    if (cancelled_.insert(id).second && liveEvents_ > 0)
+        --liveEvents_;
+}
+
+bool
+LegacyEventQueue::step()
+{
+    while (!heap_.empty()) {
+        Entry top = heap_.top();
+        heap_.pop();
+        auto it = cancelled_.find(top.id);
+        if (it != cancelled_.end()) {
+            cancelled_.erase(it);
+            continue;
+        }
+        now_ = top.when;
+        --liveEvents_;
+        top.fn();
+        return true;
+    }
+    return false;
+}
+
+void
+LegacyEventQueue::run()
+{
+    while (step()) {
+    }
+}
+
+} // namespace tlsim::bench

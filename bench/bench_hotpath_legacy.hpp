@@ -1,0 +1,67 @@
+/**
+ * @file
+ * The pre-PR event kernel, embedded verbatim for bench_hotpath's
+ * honest A/B: binary min-heap of entries owning std::function
+ * callbacks (heap allocation per schedule for captures beyond the
+ * std::function SBO), lazy cancellation through an unordered_set of
+ * ids. Methods are defined in a separate translation unit so the
+ * legacy side faces the same call boundary the real pre-PR kernel had
+ * (it lived in the common library, not headers) — otherwise the
+ * comparison would inline one side and not the other.
+ */
+
+#ifndef TLSIM_BENCH_HOTPATH_LEGACY_HPP
+#define TLSIM_BENCH_HOTPATH_LEGACY_HPP
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace tlsim::bench {
+
+class LegacyEventQueue
+{
+  public:
+    Cycle now() const { return now_; }
+
+    std::uint64_t schedule(Cycle when, std::function<void()> fn);
+
+    std::uint64_t
+    scheduleIn(Cycle delta, std::function<void()> fn)
+    {
+        return schedule(now_ + delta, std::move(fn));
+    }
+
+    void cancel(std::uint64_t id);
+    bool step();
+    void run();
+
+  private:
+    struct Entry {
+        Cycle when;
+        std::uint64_t id;
+        std::function<void()> fn;
+    };
+    struct Later {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.id > b.id;
+        }
+    };
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    std::unordered_set<std::uint64_t> cancelled_;
+    Cycle now_ = 0;
+    std::uint64_t nextId_ = 1;
+    std::size_t liveEvents_ = 0;
+};
+
+} // namespace tlsim::bench
+
+#endif // TLSIM_BENCH_HOTPATH_LEGACY_HPP

@@ -9,6 +9,7 @@
 
 #include "common/event_queue.hpp"
 #include "common/rng.hpp"
+#include "common/stats.hpp"
 #include "mem/cache.hpp"
 #include "mem/undo_log.hpp"
 #include "tls/version_map.hpp"
@@ -32,6 +33,63 @@ BM_EventQueueScheduleRun(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_EventQueueScheduleRun)->Arg(1024)->Arg(16384);
+
+void
+BM_EventQueueCancelHeavy(benchmark::State &state)
+{
+    // Schedule/cancel churn (aborted Core::wait events): in-heap
+    // removal recycles slots immediately, so the queue stays compact.
+    EventQueue eq;
+    long sink = 0;
+    for (auto _ : state) {
+        EventId ids[64];
+        for (int i = 0; i < 64; ++i)
+            ids[i] = eq.scheduleIn(Cycle(i % 29), [&sink] { ++sink; });
+        for (int i = 0; i < 48; ++i)
+            eq.cancel(ids[i]);
+        while (eq.step()) {
+        }
+    }
+    benchmark::DoNotOptimize(sink);
+    state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_EventQueueCancelHeavy);
+
+void
+BM_CounterIncName(benchmark::State &state)
+{
+    // The pre-PR hot path: linear scan with string compares over the
+    // ~30 counters a speculation run keeps live.
+    CounterSet c;
+    for (int i = 0; i < 30; ++i)
+        c.intern("counter_" + std::to_string(i));
+    for (auto _ : state) {
+        c.inc("counter_22");
+        benchmark::ClobberMemory();
+    }
+    benchmark::DoNotOptimize(c.get("counter_22"));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CounterIncName);
+
+void
+BM_CounterIncInterned(benchmark::State &state)
+{
+    CounterSet c;
+    for (int i = 0; i < 30; ++i)
+        c.intern("counter_" + std::to_string(i));
+    StatId id = c.intern("counter_22");
+    for (auto _ : state) {
+        // Without per-iteration barriers the compiler hoists the
+        // increment and reports a meaningless rate.
+        benchmark::DoNotOptimize(id);
+        c.inc(id);
+        benchmark::ClobberMemory();
+    }
+    benchmark::DoNotOptimize(c.get(id));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CounterIncInterned);
 
 void
 BM_CacheLookup(benchmark::State &state)

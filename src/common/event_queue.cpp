@@ -4,61 +4,20 @@
 
 namespace tlsim {
 
-EventId
-EventQueue::schedule(Cycle when, std::function<void()> fn)
+std::uint32_t
+EventQueue::growSlot()
 {
-    if (when < now_)
-        panic("EventQueue: scheduling into the past");
-    EventId id = nextId_++;
-    heap_.push(Entry{when, id, std::move(fn)});
-    ++liveEvents_;
-    return id;
+    if (slab_.size() >= std::size_t(kNoSlot))
+        panic("EventQueue: slab exhausted");
+    slab_.emplace_back();
+    pos_.push_back(kNoSlot);
+    return std::uint32_t(slab_.size() - 1);
 }
 
 void
-EventQueue::cancel(EventId id)
+EventQueue::schedulePastPanic()
 {
-    if (id == 0 || id >= nextId_)
-        return;
-    if (cancelled_.insert(id).second && liveEvents_ > 0)
-        --liveEvents_;
-}
-
-bool
-EventQueue::step()
-{
-    while (!heap_.empty()) {
-        Entry top = heap_.top();
-        heap_.pop();
-        auto it = cancelled_.find(top.id);
-        if (it != cancelled_.end()) {
-            cancelled_.erase(it);
-            continue;
-        }
-        now_ = top.when;
-        --liveEvents_;
-        ++executed_;
-        top.fn();
-        return true;
-    }
-    return false;
-}
-
-Cycle
-EventQueue::run(Cycle maxCycle)
-{
-    while (!heap_.empty()) {
-        const Entry &top = heap_.top();
-        if (cancelled_.count(top.id)) {
-            cancelled_.erase(top.id);
-            heap_.pop();
-            continue;
-        }
-        if (top.when > maxCycle)
-            break;
-        step();
-    }
-    return now_;
+    panic("EventQueue: scheduling into the past");
 }
 
 } // namespace tlsim

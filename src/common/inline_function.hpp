@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Small-buffer-optimized move-only callable, the event kernel's
+ * callback type.
+ *
+ * Simulation callbacks are small lambdas (a `this` pointer plus a few
+ * captured words); `std::function` would heap-allocate most of them on
+ * every schedule(). InlineFunction stores callables up to Capacity
+ * bytes in place and only falls back to the heap for oversized ones,
+ * so the schedule fast path performs no allocation. The bench harness
+ * and tests can query onHeap() to assert the fast path stays
+ * allocation-free.
+ */
+
+#ifndef TLSIM_COMMON_INLINE_FUNCTION_HPP
+#define TLSIM_COMMON_INLINE_FUNCTION_HPP
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace tlsim {
+
+/**
+ * Move-only `void()` callable with @p Capacity bytes of inline storage.
+ */
+template <std::size_t Capacity>
+class InlineFunction
+{
+  public:
+    InlineFunction() noexcept = default;
+
+    template <typename F,
+              typename D = std::decay_t<F>,
+              typename = std::enable_if_t<
+                  !std::is_same_v<D, InlineFunction> &&
+                  std::is_invocable_r_v<void, D &>>>
+    InlineFunction(F &&fn)
+    {
+        construct(std::forward<F>(fn));
+    }
+
+    /**
+     * Destroy the current callable (if any) and construct @p fn in
+     * place — the no-move path used by EventQueue::schedule to build
+     * the callback directly inside its pooled slot.
+     */
+    template <typename F,
+              typename D = std::decay_t<F>,
+              typename = std::enable_if_t<
+                  !std::is_same_v<D, InlineFunction> &&
+                  std::is_invocable_r_v<void, D &>>>
+    void
+    emplace(F &&fn)
+    {
+        reset();
+        construct(std::forward<F>(fn));
+    }
+
+    InlineFunction(InlineFunction &&other) noexcept { moveFrom(other); }
+
+    InlineFunction &
+    operator=(InlineFunction &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            moveFrom(other);
+        }
+        return *this;
+    }
+
+    InlineFunction(const InlineFunction &) = delete;
+    InlineFunction &operator=(const InlineFunction &) = delete;
+
+    ~InlineFunction() { reset(); }
+
+    void
+    operator()()
+    {
+        invoke_(storage());
+    }
+
+    explicit operator bool() const noexcept { return invoke_ != nullptr; }
+
+    void
+    reset() noexcept
+    {
+        if (invoke_) {
+            if (manage_)
+                manage_(Op::Destroy, storage(), nullptr);
+            invoke_ = nullptr;
+            manage_ = nullptr;
+        }
+    }
+
+    /** True if the stored callable required a heap allocation. */
+    template <typename F>
+    static constexpr bool
+    fitsInline()
+    {
+        return sizeof(F) <= Capacity &&
+               alignof(F) <= alignof(std::max_align_t) &&
+               std::is_nothrow_move_constructible_v<F>;
+    }
+
+  private:
+    enum class Op { Destroy, MoveTo };
+
+    template <typename F, typename D = std::decay_t<F>>
+    void
+    construct(F &&fn)
+    {
+        if constexpr (fitsInline<D>() &&
+                      std::is_trivially_copyable_v<D> &&
+                      std::is_trivially_destructible_v<D>) {
+            // Trivial callable (the common `this` + a few words case):
+            // no manager needed — encoded as manage_ == nullptr, moves
+            // are a buffer memcpy and destruction is a no-op.
+            ::new (storage()) D(std::forward<F>(fn));
+            invoke_ = [](void *s) { (*static_cast<D *>(s))(); };
+            manage_ = nullptr;
+        } else if constexpr (fitsInline<D>()) {
+            ::new (storage()) D(std::forward<F>(fn));
+            invoke_ = [](void *s) { (*static_cast<D *>(s))(); };
+            manage_ = [](Op op, void *s, void *other) {
+                switch (op) {
+                  case Op::Destroy:
+                    static_cast<D *>(s)->~D();
+                    break;
+                  case Op::MoveTo:
+                    ::new (other) D(std::move(*static_cast<D *>(s)));
+                    static_cast<D *>(s)->~D();
+                    break;
+                }
+            };
+        } else {
+            // Oversized callable: one heap allocation, pointer inline.
+            *reinterpret_cast<D **>(storage()) =
+                new D(std::forward<F>(fn));
+            invoke_ = [](void *s) { (**static_cast<D **>(s))(); };
+            manage_ = [](Op op, void *s, void *other) {
+                switch (op) {
+                  case Op::Destroy:
+                    delete *static_cast<D **>(s);
+                    break;
+                  case Op::MoveTo:
+                    *static_cast<D **>(other) = *static_cast<D **>(s);
+                    break;
+                }
+            };
+        }
+    }
+
+    void *storage() noexcept { return buf_; }
+
+    void
+    moveFrom(InlineFunction &other) noexcept
+    {
+        invoke_ = other.invoke_;
+        manage_ = other.manage_;
+        if (manage_)
+            manage_(Op::MoveTo, other.storage(), storage());
+        else if (invoke_)
+            std::memcpy(buf_, other.buf_, Capacity);
+        other.invoke_ = nullptr;
+        other.manage_ = nullptr;
+    }
+
+    alignas(std::max_align_t) std::byte buf_[Capacity];
+    void (*invoke_)(void *) = nullptr;
+    void (*manage_)(Op, void *, void *) = nullptr;
+};
+
+} // namespace tlsim
+
+#endif // TLSIM_COMMON_INLINE_FUNCTION_HPP

@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Vector with inline storage for the first N elements.
+ *
+ * The speculative-versioning structures are dominated by tiny
+ * collections: a line usually has 1-2 versions, a word 1-2 read
+ * records, a set at most `assoc` frames. std::vector heap-allocates
+ * every one of those; SmallVec keeps the common case in place and only
+ * spills to the heap past N elements. Interface is the subset of
+ * std::vector the simulator uses (contiguous T* iterators included, so
+ * <algorithm> works unchanged).
+ */
+
+#ifndef TLSIM_COMMON_SMALL_VEC_HPP
+#define TLSIM_COMMON_SMALL_VEC_HPP
+
+#include <algorithm>
+#include <cstddef>
+#include <iterator>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace tlsim {
+
+template <typename T, std::size_t N>
+class SmallVec
+{
+  public:
+    using value_type = T;
+    using iterator = T *;
+    using const_iterator = const T *;
+    using reverse_iterator = std::reverse_iterator<iterator>;
+    using const_reverse_iterator = std::reverse_iterator<const_iterator>;
+
+    SmallVec() noexcept = default;
+
+    SmallVec(const SmallVec &other) { appendAll(other); }
+
+    SmallVec(SmallVec &&other) noexcept { stealFrom(other); }
+
+    SmallVec &
+    operator=(const SmallVec &other)
+    {
+        if (this != &other) {
+            clear();
+            appendAll(other);
+        }
+        return *this;
+    }
+
+    SmallVec &
+    operator=(SmallVec &&other) noexcept
+    {
+        if (this != &other) {
+            destroyAll();
+            stealFrom(other);
+        }
+        return *this;
+    }
+
+    ~SmallVec() { destroyAll(); }
+
+    iterator begin() noexcept { return data_; }
+    iterator end() noexcept { return data_ + size_; }
+    const_iterator begin() const noexcept { return data_; }
+    const_iterator end() const noexcept { return data_ + size_; }
+    reverse_iterator rbegin() noexcept { return reverse_iterator(end()); }
+    reverse_iterator rend() noexcept { return reverse_iterator(begin()); }
+    const_reverse_iterator
+    rbegin() const noexcept
+    {
+        return const_reverse_iterator(end());
+    }
+    const_reverse_iterator
+    rend() const noexcept
+    {
+        return const_reverse_iterator(begin());
+    }
+
+    std::size_t size() const noexcept { return size_; }
+    bool empty() const noexcept { return size_ == 0; }
+    std::size_t capacity() const noexcept { return cap_; }
+    /** True while no element has spilled to the heap. */
+    bool inlineStorage() const noexcept { return data_ == inlinePtr(); }
+
+    T &operator[](std::size_t i) { return data_[i]; }
+    const T &operator[](std::size_t i) const { return data_[i]; }
+    T &front() { return data_[0]; }
+    T &back() { return data_[size_ - 1]; }
+    const T &front() const { return data_[0]; }
+    const T &back() const { return data_[size_ - 1]; }
+
+    void
+    push_back(const T &value)
+    {
+        emplace_back(value);
+    }
+
+    void
+    push_back(T &&value)
+    {
+        emplace_back(std::move(value));
+    }
+
+    template <typename... Args>
+    T &
+    emplace_back(Args &&...args)
+    {
+        if (size_ == cap_)
+            grow(cap_ * 2);
+        ::new (data_ + size_) T(std::forward<Args>(args)...);
+        return data_[size_++];
+    }
+
+    /** Insert @p value before @p pos, shifting the tail up. */
+    iterator
+    insert(iterator pos, const T &value)
+    {
+        std::size_t idx = std::size_t(pos - data_);
+        if (size_ == cap_)
+            grow(cap_ * 2);
+        if (idx == size_) {
+            ::new (data_ + size_) T(value);
+        } else {
+            ::new (data_ + size_) T(std::move(data_[size_ - 1]));
+            for (std::size_t i = size_ - 1; i > idx; --i)
+                data_[i] = std::move(data_[i - 1]);
+            data_[idx] = value;
+        }
+        ++size_;
+        return data_ + idx;
+    }
+
+    iterator
+    erase(iterator pos)
+    {
+        return erase(pos, pos + 1);
+    }
+
+    iterator
+    erase(iterator first, iterator last)
+    {
+        std::size_t idx = std::size_t(first - data_);
+        std::size_t count = std::size_t(last - first);
+        for (std::size_t i = idx; i + count < size_; ++i)
+            data_[i] = std::move(data_[i + count]);
+        for (std::size_t i = size_ - count; i < size_; ++i)
+            data_[i].~T();
+        size_ -= count;
+        return data_ + idx;
+    }
+
+    void
+    clear() noexcept
+    {
+        for (std::size_t i = 0; i < size_; ++i)
+            data_[i].~T();
+        size_ = 0;
+    }
+
+  private:
+    T *inlinePtr() noexcept { return reinterpret_cast<T *>(inline_); }
+    const T *
+    inlinePtr() const noexcept
+    {
+        return reinterpret_cast<const T *>(inline_);
+    }
+
+    void
+    grow(std::size_t new_cap)
+    {
+        T *fresh = static_cast<T *>(
+            ::operator new(new_cap * sizeof(T), std::align_val_t(alignof(T))));
+        for (std::size_t i = 0; i < size_; ++i) {
+            ::new (fresh + i) T(std::move(data_[i]));
+            data_[i].~T();
+        }
+        releaseHeap();
+        data_ = fresh;
+        cap_ = new_cap;
+    }
+
+    void
+    appendAll(const SmallVec &other)
+    {
+        if (other.size_ > cap_)
+            grow(other.size_);
+        for (std::size_t i = 0; i < other.size_; ++i)
+            ::new (data_ + i) T(other.data_[i]);
+        size_ = other.size_;
+    }
+
+    void
+    stealFrom(SmallVec &other) noexcept
+    {
+        if (!other.inlineStorage()) {
+            // Adopt the heap buffer wholesale.
+            data_ = other.data_;
+            cap_ = other.cap_;
+            size_ = other.size_;
+        } else {
+            data_ = inlinePtr();
+            cap_ = N;
+            size_ = other.size_;
+            for (std::size_t i = 0; i < size_; ++i) {
+                ::new (data_ + i) T(std::move(other.data_[i]));
+                other.data_[i].~T();
+            }
+        }
+        other.data_ = other.inlinePtr();
+        other.cap_ = N;
+        other.size_ = 0;
+    }
+
+    void
+    destroyAll() noexcept
+    {
+        clear();
+        releaseHeap();
+        data_ = inlinePtr();
+        cap_ = N;
+    }
+
+    void
+    releaseHeap() noexcept
+    {
+        if (!inlineStorage())
+            ::operator delete(data_, std::align_val_t(alignof(T)));
+    }
+
+    alignas(T) std::byte inline_[N * sizeof(T)];
+    T *data_ = inlinePtr();
+    std::size_t size_ = 0;
+    std::size_t cap_ = N;
+};
+
+} // namespace tlsim
+
+#endif // TLSIM_COMMON_SMALL_VEC_HPP

@@ -96,6 +96,17 @@ Histogram::percentile(double fraction) const
     return max_;
 }
 
+StatId
+CounterSet::intern(const std::string &name)
+{
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        if (entries_[i].first == name)
+            return StatId(i);
+    }
+    entries_.emplace_back(name, 0);
+    return StatId(entries_.size() - 1);
+}
+
 std::uint64_t &
 CounterSet::find(const std::string &name)
 {

@@ -132,13 +132,42 @@ class Histogram
 };
 
 /**
+ * Interned counter handle: an index into one CounterSet's entry table.
+ *
+ * Resolved once (at engine construction) via CounterSet::intern, then
+ * used for direct-indexed increments on the access fast path. Ids are
+ * only meaningful for the CounterSet that issued them.
+ */
+using StatId = std::uint32_t;
+
+/**
  * A flat set of named event counters (cache hits, squashes, ...).
  *
- * Deliberately simple: benchmark and test code reads counters by name.
+ * Hot-path users intern names into StatId handles up front and
+ * increment by id (one array index, no string compare). The name-based
+ * inc()/get() API remains as a thin wrapper — it does the original
+ * linear scan with string compares — for tests, benches and one-off
+ * counters, and as the honest baseline the hot-path benchmark measures
+ * the interned path against.
  */
 class CounterSet
 {
   public:
+    /**
+     * Find-or-create the counter @p name and return its handle.
+     * Creation order determines entries() order, exactly as with
+     * name-based inc().
+     */
+    StatId intern(const std::string &name);
+
+    /** Fast path: direct-indexed increment of an interned counter. */
+    void
+    inc(StatId id, std::uint64_t delta = 1)
+    {
+        entries_[id].second += delta;
+    }
+
+    /** Name-based wrapper: linear scan, find-or-create. */
     void
     inc(const std::string &name, std::uint64_t delta = 1)
     {
@@ -146,6 +175,7 @@ class CounterSet
     }
 
     std::uint64_t get(const std::string &name) const;
+    std::uint64_t get(StatId id) const { return entries_[id].second; }
 
     /** All (name, value) pairs in insertion order. */
     const std::vector<std::pair<std::string, std::uint64_t>> &

@@ -42,16 +42,11 @@ VersionedCache::findAnyOf(Addr line)
     return nullptr;
 }
 
-std::vector<CacheLineState *>
+VersionedCache::FrameList
 VersionedCache::framesOf(Addr line)
 {
-    std::vector<CacheLineState *> out;
-    CacheLineState *base = setBase(line);
-    for (unsigned w = 0; w < geo_.assoc; ++w) {
-        CacheLineState &f = base[w];
-        if (f.valid && f.line == line)
-            out.push_back(&f);
-    }
+    FrameList out;
+    forEachFrameOf(line, [&out](CacheLineState &f) { out.push_back(&f); });
     return out;
 }
 

@@ -16,6 +16,7 @@
 #include <functional>
 #include <vector>
 
+#include "common/small_vec.hpp"
 #include "common/types.hpp"
 #include "mem/geometry.hpp"
 #include "mem/version_tag.hpp"
@@ -81,8 +82,26 @@ class VersionedCache
     /** Find any valid frame for @p line (single-version caches). */
     CacheLineState *findAnyOf(Addr line);
 
-    /** Collect pointers to every valid frame for @p line. */
-    std::vector<CacheLineState *> framesOf(Addr line);
+    /**
+     * Pointers to every valid frame for @p line. A set holds at most
+     * `assoc` versions of one line, so the list stays inline (no heap
+     * allocation) for every geometry the studies use.
+     */
+    using FrameList = SmallVec<CacheLineState *, 8>;
+    FrameList framesOf(Addr line);
+
+    /** Apply @p fn to every valid frame of @p line (no allocation). */
+    template <typename Fn>
+    void
+    forEachFrameOf(Addr line, Fn &&fn)
+    {
+        CacheLineState *base = setBase(line);
+        for (unsigned w = 0; w < geo_.assoc; ++w) {
+            CacheLineState &f = base[w];
+            if (f.valid && f.line == line)
+                fn(f);
+        }
+    }
 
     /**
      * Insert a line, choosing a victim if the set is full.

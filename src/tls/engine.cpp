@@ -78,6 +78,44 @@ SpeculationEngine::SpeculationEngine(const EngineConfig &cfg,
     tasks_.resize(n);
     for (TaskId t = 1; t <= n; ++t)
         tasks_[t - 1].id = t;
+
+    // Intern every hot-path counter once; the access paths increment
+    // by id. The order here is the entries() order of every result.
+    sid_.loads = counters_.intern("loads");
+    sid_.stores = counters_.intern("stores");
+    sid_.l1Hits = counters_.intern("l1_hits");
+    sid_.l2Hits = counters_.intern("l2_hits");
+    sid_.l3Hits = counters_.intern("l3_hits");
+    sid_.memoryFetches = counters_.intern("memory_fetches");
+    sid_.remoteCacheFetches = counters_.intern("remote_cache_fetches");
+    sid_.overflowFetches = counters_.intern("overflow_fetches");
+    sid_.mhbFetches = counters_.intern("mhb_fetches");
+    sid_.overflowChecks = counters_.intern("overflow_checks");
+    sid_.overflowSpills = counters_.intern("overflow_spills");
+    sid_.overflowRefetches = counters_.intern("overflow_refetches");
+    sid_.overflowStalls = counters_.intern("overflow_stalls");
+    sid_.svStalls = counters_.intern("sv_stalls");
+    sid_.fmmWritebacks = counters_.intern("fmm_writebacks");
+    sid_.fmmRefetches = counters_.intern("fmm_refetches");
+    sid_.mtidRejectedSpills = counters_.intern("mtid_rejected_spills");
+    sid_.vclDisplacements = counters_.intern("vcl_displacements");
+    sid_.vclWritebacks = counters_.intern("vcl_writebacks");
+    sid_.vclInvalidations = counters_.intern("vcl_invalidations");
+    sid_.logAppends = counters_.intern("log_appends");
+    sid_.nonspecWritethroughs = counters_.intern("nonspec_writethroughs");
+    sid_.versionsCreated = counters_.intern("versions_created");
+    sid_.dispatches = counters_.intern("dispatches");
+    sid_.commits = counters_.intern("commits");
+    sid_.commitOverflowFetches =
+        counters_.intern("commit_overflow_fetches");
+    sid_.eagerWritebacks = counters_.intern("eager_writebacks");
+    sid_.barrierMergeCycles = counters_.intern("barrier_merge_cycles");
+    sid_.invocations = counters_.intern("invocations");
+    sid_.finalMergeLines = counters_.intern("final_merge_lines");
+    sid_.squashEvents = counters_.intern("squash_events");
+    sid_.tasksSquashed = counters_.intern("tasks_squashed");
+    sid_.recoveryEntriesReplayed =
+        counters_.intern("recovery_entries_replayed");
 }
 
 SpeculationEngine::~SpeculationEngine() = default;
@@ -159,7 +197,7 @@ SpeculationEngine::tryDispatch(ProcId proc)
     r.execStart = eq_.now();
     if (!cfg_.sequential)
         specTasksDelta(+1);
-    counters_.inc("dispatches");
+    counters_.inc(sid_.dispatches);
     core.startTask(id, workload_.makeTrace(id),
                    cfg_.sequential ? 0 : cfg_.machine.dispatchCycles);
 }
@@ -259,7 +297,7 @@ SpeculationEngine::mergeTaskState(TaskId id, Cycle start)
             // Fetch the overflowed line from local memory first.
             issue += m.latLocalMem / 4;
             memBanks_.access(r.proc % m.numBanks, start);
-            counters_.inc("commit_overflow_fetches");
+            counters_.inc(sid_.commitOverflowFetches);
         }
         unsigned home = homeOf(line);
         net_->traverse(start, r.proc % net_->numNodes(),
@@ -271,7 +309,7 @@ SpeculationEngine::mergeTaskState(TaskId id, Cycle start)
         else
             ow = m.latL3 / 2;
         oneway = std::max(oneway, ow);
-        counters_.inc("eager_writebacks");
+        counters_.inc(sid_.eagerWritebacks);
     }
     return issue + oneway;
 }
@@ -369,7 +407,7 @@ SpeculationEngine::finishCommit(TaskId id)
     ProcId owner = r.proc;
     commitInProgress_ = false;
     ++nextCommit_;
-    counters_.inc("commits");
+    counters_.inc(sid_.commits);
     maybeCommit();
     if (!sectionDone_) {
         tryDispatch(owner);
@@ -407,7 +445,7 @@ SpeculationEngine::advanceInvocation()
     if (cfg_.scheme.merging == Merging::LazyAMM) {
         for (ProcId p = 0; p < numProcs(); ++p)
             finish = std::max(finish, finalMergeProc(p, eq_.now()));
-        counters_.inc("barrier_merge_cycles", finish - eq_.now());
+        counters_.inc(sid_.barrierMergeCycles, finish - eq_.now());
     }
     if (invocEnd_ >= workload_.numTasks()) {
         sectionEnd_ = finish;
@@ -434,7 +472,7 @@ SpeculationEngine::releaseNextInvocation()
         invocEnd_ + std::max<TaskId>(1, workload_.tasksPerInvocation()));
     for (TaskId t = start; t <= invocEnd_; ++t)
         scheduler_.requeue(t);
-    counters_.inc("invocations");
+    counters_.inc(sid_.invocations);
     tryDispatchAll();
 }
 
@@ -461,7 +499,7 @@ SpeculationEngine::finalMergeProc(ProcId proc, Cycle start)
             issue += m.latLocalMem / 4;
             memBanks_.access(proc % m.numBanks, start);
         }
-        counters_.inc("final_merge_lines");
+        counters_.inc(sid_.finalMergeLines);
         if (latest == &v) {
             unsigned home = homeOf(line);
             net_->traverse(start, proc % net_->numNodes(),
@@ -512,7 +550,7 @@ SpeculationEngine::performSquash(TaskId first_bad, ProcId writer_proc)
 {
     (void)writer_proc;
     ++squashEvents_;
-    counters_.inc("squash_events");
+    counters_.inc(sid_.squashEvents);
 
     std::vector<TaskId> squashed;
     for (TaskId t = first_bad; t <= workload_.numTasks(); ++t) {
@@ -522,7 +560,7 @@ SpeculationEngine::performSquash(TaskId first_bad, ProcId writer_proc)
     if (squashed.empty())
         return;
     tasksSquashed_ += squashed.size();
-    counters_.inc("tasks_squashed", squashed.size());
+    counters_.inc(sid_.tasksSquashed, squashed.size());
 
     // Remember owners before cleanup (records are reset by squashOne).
     std::vector<ProcId> owner(squashed.size());
@@ -639,7 +677,7 @@ SpeculationEngine::runRecoveryQueue()
     recoveryProc_.erase(id);
 
     auto entries = logs_[proc].takeForRecovery(id);
-    counters_.inc("recovery_entries_replayed", entries.size());
+    counters_.inc(sid_.recoveryEntriesReplayed, entries.size());
 
     // Replay: restore each overwritten version to main memory. The
     // metadata effect is applied now; the handler's time is charged

@@ -146,6 +146,26 @@ class SpeculationEngine : public cpu::SpecMemoryIf,
 
     // --- statistics ---
     CounterSet counters_;
+    /**
+     * Counter handles interned once at construction so the access fast
+     * path increments by index instead of scanning names (see
+     * CounterSet::intern). Interning order fixes entries() order,
+     * identically for every run of a build — the determinism tests
+     * compare counter tables across thread counts byte for byte.
+     */
+    struct StatIds {
+        StatId loads, stores, l1Hits, l2Hits, l3Hits, memoryFetches,
+            remoteCacheFetches, overflowFetches, mhbFetches,
+            overflowChecks, overflowSpills, overflowRefetches,
+            overflowStalls, svStalls, fmmWritebacks, fmmRefetches,
+            mtidRejectedSpills, vclDisplacements, vclWritebacks,
+            vclInvalidations, logAppends, nonspecWritethroughs,
+            versionsCreated, dispatches, commits, commitOverflowFetches,
+            eagerWritebacks, barrierMergeCycles, invocations,
+            finalMergeLines, squashEvents, tasksSquashed,
+            recoveryEntriesReplayed;
+    };
+    StatIds sid_;
     std::uint64_t squashEvents_ = 0;
     std::uint64_t tasksSquashed_ = 0;
     // Time-weighted speculative-task integrals.

@@ -73,7 +73,7 @@ SpeculationEngine::fetchLatency(ProcId proc, Addr line, VersionInfo *v,
             }
             lat += memBanks_.access(home, now);
             src = Source::Memory;
-            counters_.inc("memory_fetches");
+            counters_.inc(sid_.memoryFetches);
         } else if (v->cacheOwner != kNoProc) {
             ProcId q = v->cacheOwner;
             if (q == proc) {
@@ -82,7 +82,7 @@ SpeculationEngine::fetchLatency(ProcId proc, Addr line, VersionInfo *v,
                           "but lookup missed");
                 lat = m.latLocalMem + memBanks_.access(proc, now);
                 src = Source::LocalOverflow;
-                counters_.inc("overflow_fetches");
+                counters_.inc(sid_.overflowFetches);
             } else {
                 bool three_hop = (home != proc && home != q);
                 lat = three_hop ? m.latRemote3Hop : m.latRemote2Hop;
@@ -97,11 +97,11 @@ SpeculationEngine::fetchLatency(ProcId proc, Addr line, VersionInfo *v,
                 if (v->inOverflow) {
                     lat += m.latLocalMem / 2 + memBanks_.access(q, now);
                     src = Source::RemoteOverflow;
-                    counters_.inc("overflow_fetches");
+                    counters_.inc(sid_.overflowFetches);
                 } else {
                     lat += l2Ports_[q].acquire(now, m.occL2Port);
                     src = Source::RemoteCache;
-                    counters_.inc("remote_cache_fetches");
+                    counters_.inc(sid_.remoteCacheFetches);
                 }
             }
         } else if (v->inMhb) {
@@ -111,7 +111,7 @@ SpeculationEngine::fetchLatency(ProcId proc, Addr line, VersionInfo *v,
             lat += memBanks_.access(v->mhbProc, now);
             lat += memBanks_.access(v->mhbProc, now);
             src = Source::Mhb;
-            counters_.inc("mhb_fetches");
+            counters_.inc(sid_.mhbFetches);
         } else {
             panic("fetchLatency: unreachable version");
         }
@@ -125,14 +125,14 @@ SpeculationEngine::fetchLatency(ProcId proc, Addr line, VersionInfo *v,
             if (CacheLineState *f3 = l3_->findVersion(line, tag)) {
                 f3->lastUse = now;
                 lat += m.latL3 + l3Banks_.access(home, now);
-                counters_.inc("l3_hits");
+                counters_.inc(sid_.l3Hits);
             } else {
                 lat += m.latLocalMem + memBanks_.access(home, now);
                 CacheLineState cl;
                 cl.line = line;
                 cl.version = tag;
                 l3_->insert(cl, now);
-                counters_.inc("memory_fetches");
+                counters_.inc(sid_.memoryFetches);
             }
             lat += net_->traverse(now, home % nodes, proc % nodes,
                                   noc::MsgClass::Data);
@@ -143,7 +143,7 @@ SpeculationEngine::fetchLatency(ProcId proc, Addr line, VersionInfo *v,
                 lat = m.latLocalMem + memBanks_.access(home, now);
                 src = q == proc ? Source::LocalOverflow
                                 : Source::RemoteOverflow;
-                counters_.inc("overflow_fetches");
+                counters_.inc(sid_.overflowFetches);
             } else if (q == proc) {
                 panic("fetchLatency: version claims to be in own L2 "
                       "but lookup missed");
@@ -155,13 +155,13 @@ SpeculationEngine::fetchLatency(ProcId proc, Addr line, VersionInfo *v,
                 lat += net_->traverse(now, q % nodes, proc % nodes,
                                       noc::MsgClass::Data);
                 src = Source::RemoteCache;
-                counters_.inc("remote_cache_fetches");
+                counters_.inc(sid_.remoteCacheFetches);
             }
         } else if (v->inMhb) {
             lat = m.latLocalMem + m.latLocalMem / 2;
             lat += memBanks_.access(home, now);
             src = Source::Mhb;
-            counters_.inc("mhb_fetches");
+            counters_.inc(sid_.mhbFetches);
         } else {
             panic("fetchLatency: unreachable version");
         }
@@ -233,7 +233,7 @@ SpeculationEngine::handleL2Eviction(ProcId proc,
 
     if (victim.committedDirty) {
         if (cfg_.scheme.merging == Merging::LazyAMM) {
-            counters_.inc("vcl_displacements");
+            counters_.inc(sid_.vclDisplacements);
             vclMergeLine(line, now);
         } else if (cfg_.scheme.merging == Merging::FMM) {
             VersionInfo *v = versions_.find(line, victim.version);
@@ -247,7 +247,7 @@ SpeculationEngine::handleL2Eviction(ProcId proc,
                     v->cacheOwner = kNoProc;
                     v->inOverflow = false;
                 }
-                counters_.inc("fmm_writebacks");
+                counters_.inc(sid_.fmmWritebacks);
             } else {
                 mtid_.writeBack(line, victim.version); // counts reject
                 // Superseded committed version: dead, drop it.
@@ -267,7 +267,7 @@ SpeculationEngine::handleL2Eviction(ProcId proc,
         overflow_[proc].put(line, victim.version, victim.writeMask);
         v->inOverflow = true;
         memBanks_.access(proc % cfg_.machine.numBanks, now);
-        counters_.inc("overflow_spills");
+        counters_.inc(sid_.overflowSpills);
     } else {
         if (mtid_.wouldAccept(line, victim.version)) {
             if (VersionInfo *old = versions_.memoryHolder(line))
@@ -276,7 +276,7 @@ SpeculationEngine::handleL2Eviction(ProcId proc,
             backgroundWriteBack(proc, line, now);
             v->inMemory = true;
             v->cacheOwner = kNoProc;
-            counters_.inc("fmm_writebacks");
+            counters_.inc(sid_.fmmWritebacks);
         } else {
             // Memory already holds a later version: the line must not
             // vanish while its task is alive. Park it in the owner's
@@ -284,7 +284,7 @@ SpeculationEngine::handleL2Eviction(ProcId proc,
             mtid_.writeBack(line, victim.version); // counts reject
             overflow_[proc].put(line, victim.version, victim.writeMask);
             v->inOverflow = true;
-            counters_.inc("mtid_rejected_spills");
+            counters_.inc(sid_.mtidRejectedSpills);
         }
     }
 }
@@ -316,7 +316,7 @@ SpeculationEngine::vclMergeLine(Addr line, Cycle now)
         latest->cacheOwner = kNoProc;
         latest->inOverflow = false;
         mtid_.set(line, keep);
-        counters_.inc("vcl_writebacks");
+        counters_.inc(sid_.vclWritebacks);
     }
 
     // Earlier committed versions are superseded and dead: invalidate
@@ -337,7 +337,7 @@ SpeculationEngine::vclMergeLine(Addr line, Cycle now)
     }
     for (VersionTag tag : dead) {
         versions_.remove(line, tag);
-        counters_.inc("vcl_invalidations");
+        counters_.inc(sid_.vclInvalidations);
     }
 }
 
@@ -351,7 +351,7 @@ SpeculationEngine::specLoad(ProcId proc, Addr addr, Cycle now)
     if (cfg_.sequential)
         return seqLoad(proc, addr, now);
 
-    counters_.inc("loads");
+    counters_.inc(sid_.loads);
     const mem::MachineParams &m = cfg_.machine;
     TaskId task = cores_[proc]->currentTask();
     Addr line = mem::lineAddr(addr);
@@ -366,12 +366,12 @@ SpeculationEngine::specLoad(ProcId proc, Addr addr, Cycle now)
     if (CacheLineState *f1 = l1_[proc]->findVersion(line, tag)) {
         f1->lastUse = now;
         lat = m.latL1;
-        counters_.inc("l1_hits");
+        counters_.inc(sid_.l1Hits);
     } else if (CacheLineState *f2 = l2_[proc]->findVersion(line, tag)) {
         f2->lastUse = now;
         lat = m.latL2 + l2Ports_[proc].acquire(now, m.occL2Port);
         insertLineL1(proc, line, tag, now);
-        counters_.inc("l2_hits");
+        counters_.inc(sid_.l2Hits);
     } else {
         Source src;
         lat = fetchLatency(proc, line, v, now, &src);
@@ -380,7 +380,7 @@ SpeculationEngine::specLoad(ProcId proc, Addr addr, Cycle now)
         if (cfg_.scheme.isAmm() && overflow_[proc].size() > 0) {
             lat += m.overflowCheckCycles;
             memBanks_.access(proc % m.numBanks, now);
-            counters_.inc("overflow_checks");
+            counters_.inc(sid_.overflowChecks);
         }
         // Lazy AMM: an external request for a committed version makes
         // the VCL merge the line with memory.
@@ -428,7 +428,7 @@ SpeculationEngine::specStore(ProcId proc, Addr addr, Cycle now)
     if (cfg_.sequential)
         return seqStore(proc, addr, now);
 
-    counters_.inc("stores");
+    counters_.inc(sid_.stores);
     const mem::MachineParams &m = cfg_.machine;
     TaskId task = cores_[proc]->currentTask();
     TaskRecord &r = rec(task);
@@ -475,7 +475,7 @@ SpeculationEngine::specStore(ProcId proc, Addr addr, Cycle now)
                   memBanks_.access(proc % m.numBanks, now);
             overflow_[proc].remove(line, my_tag);
             own->inOverflow = false;
-            counters_.inc("overflow_refetches");
+            counters_.inc(sid_.overflowRefetches);
             CacheLineState cl;
             cl.line = line;
             cl.version = my_tag;
@@ -498,7 +498,7 @@ SpeculationEngine::specStore(ProcId proc, Addr addr, Cycle now)
             cl.writeMask = own->writeMask;
             insertLineL2(proc, cl, now, nullptr);
             insertLineL1(proc, line, my_tag, now);
-            counters_.inc("fmm_refetches");
+            counters_.inc(sid_.fmmRefetches);
         } else {
             panic("specStore: own version unreachable");
         }
@@ -515,7 +515,7 @@ SpeculationEngine::specStore(ProcId proc, Addr addr, Cycle now)
             if (vv.cacheOwner == proc && !vv.committed &&
                 vv.tag.producer != task) {
                 svWaiters_[vv.tag.producer].push_back({proc, task});
-                counters_.inc("sv_stalls");
+                counters_.inc(sid_.svStalls);
                 return {0, cpu::StoreStall::SecondVersion, 0};
             }
         }
@@ -529,7 +529,7 @@ SpeculationEngine::specStore(ProcId proc, Addr addr, Cycle now)
             write_through_nonspec = true;
         } else {
             overflowWaiters_.push_back({proc, task});
-            counters_.inc("overflow_stalls");
+            counters_.inc(sid_.overflowStalls);
             return {0, cpu::StoreStall::Overflow, 0};
         }
     }
@@ -560,7 +560,7 @@ SpeculationEngine::specStore(ProcId proc, Addr addr, Cycle now)
         e.oldMask = prev_mask;
         e.overwriting = task;
         logs_[proc].append(task, e);
-        counters_.inc("log_appends");
+        counters_.inc(sid_.logAppends);
         if (prev) {
             prev->inMhb = true;
             prev->mhbProc = proc;
@@ -586,7 +586,7 @@ SpeculationEngine::specStore(ProcId proc, Addr addr, Cycle now)
         // overflow-area tables.
         lat += m.overflowCheckCycles;
         memBanks_.access(proc % m.numBanks, now);
-        counters_.inc("overflow_checks");
+        counters_.inc(sid_.overflowChecks);
     }
     if (write_through_nonspec) {
         nv.cacheOwner = kNoProc;
@@ -596,7 +596,7 @@ SpeculationEngine::specStore(ProcId proc, Addr addr, Cycle now)
         nv.inMemory = true;
         mtid_.set(line, my_tag);
         lat += m.latLocalMem / 2 + memBanks_.access(homeOf(line), now);
-        counters_.inc("nonspec_writethroughs");
+        counters_.inc(sid_.nonspecWritethroughs);
     } else {
         CacheLineState cl;
         cl.line = line;
@@ -606,7 +606,7 @@ SpeculationEngine::specStore(ProcId proc, Addr addr, Cycle now)
         cl.writeMask = bit;
         lat += insertLineL2(proc, cl, now, nullptr);
         insertLineL1(proc, line, my_tag, now);
-        counters_.inc("versions_created");
+        counters_.inc(sid_.versionsCreated);
     }
     return {lat, cpu::StoreStall::None, extra_instrs};
 }

@@ -76,7 +76,7 @@ VersionMap::latestWordWriter(Addr line, std::uint8_t word_bit,
     return 0;
 }
 
-std::vector<VersionInfo> &
+VersionList &
 VersionMap::versionsOf(Addr line)
 {
     return lines_[line];

@@ -17,8 +17,8 @@
 #include <cstdint>
 #include <functional>
 #include <unordered_map>
-#include <vector>
 
+#include "common/small_vec.hpp"
 #include "common/types.hpp"
 #include "mem/version_tag.hpp"
 
@@ -46,6 +46,17 @@ struct VersionInfo {
         return inMemory || cacheOwner != kNoProc || inMhb;
     }
 };
+
+/**
+ * Per-line version list.
+ *
+ * Inline storage for two versions: almost every line has one producer
+ * plus at most the architectural-successor version, so the common case
+ * allocates nothing (the map node itself is the only allocation per
+ * line). Heavily multi-versioned lines (the P3m pattern) spill to the
+ * heap transparently.
+ */
+using VersionList = SmallVec<VersionInfo, 2>;
 
 /**
  * Versions of all lines, ordered by producer within each line.
@@ -77,7 +88,7 @@ class VersionMap
                             TaskId reader);
 
     /** All versions of @p line (ascending producer). */
-    std::vector<VersionInfo> &versionsOf(Addr line);
+    VersionList &versionsOf(Addr line);
 
     /** True if any version of @p line exists. */
     bool
@@ -107,7 +118,7 @@ class VersionMap
     void clear();
 
   private:
-    std::unordered_map<Addr, std::vector<VersionInfo>> lines_;
+    std::unordered_map<Addr, VersionList> lines_;
     std::size_t totalVersions_ = 0;
 };
 

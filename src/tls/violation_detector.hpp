@@ -15,8 +15,8 @@
 #include <cstdint>
 #include <unordered_map>
 #include <unordered_set>
-#include <vector>
 
+#include "common/small_vec.hpp"
 #include "common/types.hpp"
 
 namespace tlsim::tls {
@@ -60,7 +60,8 @@ class ViolationDetector
         TaskId observed;
     };
 
-    std::unordered_map<Addr, std::vector<ReadRecord>> byWord_;
+    /** Most words have 1-2 concurrent readers: keep them inline. */
+    std::unordered_map<Addr, SmallVec<ReadRecord, 2>> byWord_;
     std::uint64_t records_ = 0;
 };
 

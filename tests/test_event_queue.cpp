@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+
 #include "common/event_queue.hpp"
 
 using namespace tlsim;
@@ -129,4 +131,126 @@ TEST(EventQueueDeath, SchedulingIntoThePastPanics)
     eq.schedule(50, [] {});
     eq.run();
     EXPECT_DEATH(eq.schedule(10, [] {}), "past");
+}
+
+TEST(EventQueueDeath, ScheduleInPastViaAbsoluteTimeAfterRun)
+{
+    EventQueue eq;
+    eq.schedule(100, [] {});
+    eq.run();
+    EXPECT_EQ(eq.now(), 100u);
+    // Exactly now is allowed; strictly before now is a simulator bug.
+    EXPECT_NO_THROW(eq.schedule(100, [] {}));
+    EXPECT_DEATH(eq.schedule(99, [] {}), "past");
+}
+
+TEST(EventQueue, CancelChurnDoesNotGrowMemory)
+{
+    // Regression guard: the old kernel kept every cancelled id in an
+    // unordered_set until the matching heap entry drained, so a
+    // schedule/cancel loop grew without bound. The slab recycles
+    // cancelled slots immediately, so a million schedule+cancel
+    // round-trips must not grow storage past the handful of slots the
+    // live events need.
+    EventQueue eq;
+    bool fired = false;
+    eq.schedule(1'000'000, [&] { fired = true; });
+    for (int i = 0; i < 1'000'000; ++i) {
+        EventId id = eq.scheduleIn(Cycle(i % 512), [] {});
+        eq.cancel(id);
+    }
+    EXPECT_EQ(eq.size(), 1u);
+    EXPECT_LE(eq.slabCapacity(), 8u);
+    eq.run();
+    EXPECT_TRUE(fired);
+    EXPECT_EQ(eq.size(), 0u);
+    EXPECT_EQ(eq.executedEvents(), 1u);
+}
+
+TEST(EventQueue, SameCycleTiesSurviveInterleavedCancels)
+{
+    // Cancelling from the middle of a same-cycle run must not disturb
+    // the scheduling order of the survivors.
+    EventQueue eq;
+    std::vector<int> order;
+    std::vector<EventId> ids;
+    for (int i = 0; i < 32; ++i)
+        ids.push_back(eq.schedule(7, [&, i] { order.push_back(i); }));
+    for (int i = 1; i < 32; i += 3)
+        eq.cancel(ids[std::size_t(i)]);
+    eq.run();
+    std::vector<int> expect;
+    for (int i = 0; i < 32; ++i) {
+        if (i % 3 != 1)
+            expect.push_back(i);
+    }
+    EXPECT_EQ(order, expect);
+}
+
+TEST(EventQueue, InterleavedScheduleCancelStepIsDeterministic)
+{
+    // Drive two queues through an identical pseudo-random mix of
+    // schedule / cancel / step and require identical firing orders —
+    // slot recycling must never leak into observable event order.
+    auto drive = [](std::vector<unsigned> &fires) {
+        EventQueue eq;
+        std::vector<EventId> live;
+        std::uint64_t rng = 12345;
+        auto next = [&rng] {
+            rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+            return unsigned(rng >> 33);
+        };
+        for (int op = 0; op < 2000; ++op) {
+            unsigned r = next() % 8;
+            unsigned tag = unsigned(op);
+            if (r < 5) {
+                live.push_back(eq.scheduleIn(
+                    Cycle(next() % 64),
+                    [&fires, tag] { fires.push_back(tag); }));
+            } else if (r == 5 && !live.empty()) {
+                std::size_t pick = next() % live.size();
+                eq.cancel(live[pick]);
+                live.erase(live.begin() +
+                           std::ptrdiff_t(pick));
+            } else {
+                eq.step();
+            }
+        }
+        eq.run();
+    };
+    std::vector<unsigned> a, b;
+    drive(a);
+    drive(b);
+    EXPECT_FALSE(a.empty());
+    EXPECT_EQ(a, b);
+}
+
+TEST(EventQueue, OversizedCallbackStillRuns)
+{
+    // Callables beyond the inline budget fall back to one heap
+    // allocation but must behave identically.
+    EventQueue eq;
+    std::array<std::uint64_t, 16> big{};
+    big[15] = 42;
+    std::uint64_t seen = 0;
+    eq.schedule(5, [big, &seen] { seen = big[15]; });
+    static_assert(sizeof(std::array<std::uint64_t, 16>) >
+                  EventQueue::kInlineCallbackBytes);
+    eq.run();
+    EXPECT_EQ(seen, 42u);
+}
+
+TEST(EventQueue, StaleHandleAfterSlotReuseIsIgnored)
+{
+    // A handle kept past its event's execution must not cancel the
+    // unrelated event that recycled the slot.
+    EventQueue eq;
+    int fired = 0;
+    EventId stale = eq.schedule(1, [&] { ++fired; });
+    eq.run();
+    EXPECT_EQ(fired, 1);
+    eq.schedule(2, [&] { ++fired; }); // likely reuses the slot
+    eq.cancel(stale);                 // must be a no-op
+    eq.run();
+    EXPECT_EQ(fired, 2);
 }

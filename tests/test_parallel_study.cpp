@@ -245,6 +245,44 @@ TEST(ParallelStudy, ByteIdenticalAcrossThreadCounts)
     }
 }
 
+TEST(ParallelStudy, GoldenFigureIsByteIdentical)
+{
+    // Golden output captured from the pre-optimization kernel (PR 1
+    // seed): the event-kernel / stats / lookup rewrites must keep this
+    // figure byte-for-byte. If an *intentional* simulation change
+    // lands, re-capture this string and say so in the commit.
+    apps::AppParams tree = apps::tree();
+    tree.numTasks = 32;
+    tree.instrPerTask = 2500;
+    std::vector<tls::SchemeConfig> schemes = {
+        {tls::Separation::MultiTMV, tls::Merging::EagerAMM, false},
+        {tls::Separation::MultiTMV, tls::Merging::LazyAMM, false},
+    };
+    std::vector<sim::AppStudy> studies = sim::runStudySweep(
+        {tree}, schemes, mem::MachineParams::numa16(), 2, 1);
+    std::string fig = sim::renderFigure("golden-point", studies);
+
+    const std::string golden =
+        "golden-point\n"
+        "(execution time normalized to the first scheme; Busy/Stall "
+        "split as in the paper's bars; number = speedup over "
+        "sequential)\n"
+        "\n"
+        "App      Scheme               Norm.time  Busy   Stall  "
+        "Speedup  Squashes\n"
+        "--------------------------------------------------------------"
+        "----------\n"
+        "Tree     MultiT&MV Eager AMM  1.000      0.058  0.942  1.3    "
+        "  0.0\n"
+        "         MultiT&MV Lazy AMM   0.227      0.056  0.171  5.7    "
+        "  0.0\n"
+        "--------------------------------------------------------------"
+        "----------\n"
+        "Average  MultiT&MV Eager AMM  1.000                             \n"
+        "         MultiT&MV Lazy AMM   0.227                             \n";
+    EXPECT_EQ(fig, golden);
+}
+
 TEST(ParallelStudy, SweepMatchesPerAppStudies)
 {
     // runStudySweep is the parallel flattening of runAppStudy per app;
