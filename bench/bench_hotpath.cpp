@@ -7,14 +7,17 @@
  *
  * Honest A/B: the binary embeds the pre-optimization event kernel
  * (std::priority_queue of std::function callbacks with a lazy
- * cancelled-id set) and measures the retained name-scan CounterSet
- * wrapper, so the "legacy" numbers are produced by the same build with
- * the same flags, not remembered from an old report.
+ * cancelled-id set), the pre-flat-map memory-state containers (MTID,
+ * overflow area, undo log, version home index) and measures the
+ * retained name-scan CounterSet wrapper, so the "legacy" numbers are
+ * produced by the same build with the same flags, not remembered from
+ * an old report.
  *
  * The binary also interposes global operator new/delete with a
- * counting wrapper and asserts the schedule fast path performs zero
- * allocations at steady state — the regression guard for the
- * allocation-free claim.
+ * counting wrapper and asserts the schedule and memory-access fast
+ * paths perform zero allocations at steady state — the regression
+ * guard for the allocation-free claim — and fails if any tracked
+ * `*_speedup` metric drops below parity (the CI perf gate).
  *
  * Usage:
  *   bench_hotpath [--short] [--out FILE.json]
@@ -36,8 +39,14 @@
 
 #include "bench_hotpath_legacy.hpp"
 #include "common/event_queue.hpp"
+#include "common/flat_map.hpp"
 #include "common/stats.hpp"
+#include "mem/mtid_table.hpp"
+#include "mem/overflow_area.hpp"
+#include "mem/undo_log.hpp"
 #include "sim/study.hpp"
+#include "tls/version_map.hpp"
+#include "tls/violation_detector.hpp"
 
 // --------------------------------------------------------------------
 // Counting allocator interposition
@@ -327,6 +336,397 @@ benchCounterInterned(long iters, long long *allocs_out)
     return {"counter_inc_interned", double(iters) / secs, "incs/sec"};
 }
 
+// --------------------------------------------------------------------
+// Access-path A/B: the per-access memory-state container traffic
+// --------------------------------------------------------------------
+
+constexpr std::uint32_t kAccessLines = 1024;
+constexpr Addr kAccessLineBase = 0x100000;
+constexpr std::uint32_t kAccessWindow = 8;
+constexpr std::uint32_t kAccessOpsPerRetire = 48;
+constexpr unsigned kAccessProcs = 16;
+
+/** The post-PR memory-state containers, as the engine composes them:
+ *  the global version/MTID/overflow/undo structures plus the per-task
+ *  read/write sets and the violation detector that every load and
+ *  store touches. */
+struct NewMemState {
+    tls::VersionMap vmap;
+    mem::MtidTable mtid;
+    mem::OverflowArea ovf;
+    mem::UndoLog undo;
+    tls::ViolationDetector det;
+    std::vector<FlatSet<Addr>> readWords{kAccessWindow};
+    std::vector<FlatSet<Addr>> writtenWords{kAccessWindow};
+};
+
+/** The verbatim pre-PR containers from bench_hotpath_legacy. */
+struct LegacyMemState {
+    LegacyVersionMap vmap;
+    LegacyMtidTable mtid;
+    LegacyOverflowArea ovf;
+    LegacyUndoLog undo;
+    LegacyViolationDetector det;
+    std::vector<std::unordered_set<Addr>> readWords{kAccessWindow};
+    std::vector<std::unordered_set<Addr>> writtenWords{kAccessWindow};
+};
+
+/** The pre-PR recovery API returned a fresh vector by value; the arena
+ *  log drains into a reusable scratch buffer. Each side pays its own
+ *  native cost. */
+inline void
+drainUndo(mem::UndoLog &log, TaskId task,
+          std::vector<mem::UndoLogEntry> &out)
+{
+    log.takeForRecovery(task, out);
+}
+
+inline void
+drainUndo(LegacyUndoLog &log, TaskId task,
+          std::vector<mem::UndoLogEntry> &out)
+{
+    out = log.takeForRecovery(task);
+}
+
+/** Deterministic 64-bit LCG; both A/B sides replay the same stream. */
+struct BenchRng {
+    std::uint64_t s;
+    std::uint32_t
+    next()
+    {
+        s = s * 6364136223846793005ull + 1442695040888963407ull;
+        return std::uint32_t(s >> 33);
+    }
+    std::uint32_t below(std::uint32_t n) { return next() % n; }
+};
+
+/**
+ * Per-access read-only queries, expressed through each side's native
+ * API — this is the core of the A/B. The post-PR engine probes the
+ * home index once per access (listOf) and answers the visibility,
+ * word-writer and own-version questions over the fetched list; the
+ * pre-PR API had no such handle, so every query re-probed the
+ * unordered_map, which is what the legacy engine code did. The handle
+ * is only valid until the next structural change, mirroring the
+ * engine's use.
+ */
+struct NewLineRef {
+    tls::VersionList *list;
+};
+
+inline NewLineRef
+probeLine(tls::VersionMap &m, Addr line)
+{
+    return {m.listOf(line)};
+}
+
+inline tls::VersionInfo *
+qLatestVisible(tls::VersionMap &, NewLineRef ref, Addr, TaskId reader)
+{
+    return ref.list ? tls::VersionMap::latestVisibleIn(*ref.list, reader)
+                    : nullptr;
+}
+
+inline tls::VersionInfo *
+qFind(tls::VersionMap &, NewLineRef ref, Addr, mem::VersionTag tag)
+{
+    return ref.list ? tls::VersionMap::findIn(*ref.list, tag) : nullptr;
+}
+
+inline TaskId
+qWordWriter(tls::VersionMap &, NewLineRef ref, Addr, std::uint8_t bit,
+            TaskId reader)
+{
+    return ref.list
+               ? tls::VersionMap::latestWordWriterIn(*ref.list, bit, reader)
+               : 0;
+}
+
+inline bool
+setInsert(FlatSet<Addr> &s, Addr w)
+{
+    return s.insert(w);
+}
+
+inline bool
+setInsert(std::unordered_set<Addr> &s, Addr w)
+{
+    return s.insert(w).second;
+}
+
+struct LegacyLineRef {
+};
+
+inline LegacyLineRef
+probeLine(LegacyVersionMap &, Addr)
+{
+    return {};
+}
+
+inline tls::VersionInfo *
+qLatestVisible(LegacyVersionMap &m, LegacyLineRef, Addr line,
+               TaskId reader)
+{
+    return m.latestVisible(line, reader);
+}
+
+inline tls::VersionInfo *
+qFind(LegacyVersionMap &m, LegacyLineRef, Addr line, mem::VersionTag tag)
+{
+    return m.find(line, tag);
+}
+
+inline TaskId
+qWordWriter(LegacyVersionMap &m, LegacyLineRef, Addr line,
+            std::uint8_t bit, TaskId reader)
+{
+    return m.latestWordWriter(line, bit, reader);
+}
+
+/**
+ * Replays the engine's per-access container traffic against one bundle
+ * of memory-state structures: every access probes the version home
+ * index (the specLoad visibility query); a quarter are stores that hit
+ * their own version or create one (undo-log append plus sorted version
+ * insert); a slice are L2 evictions that either write back through the
+ * MTID check or spill to the overflow area; and a sliding window of
+ * in-flight tasks retires in order, committing (group drop, overflow
+ * sweep) or squashing (MHB recovery replay into the MTID table).
+ *
+ * The footprint is bounded by construction — at most two versions per
+ * line (so VersionList stays inline) and a fixed task window — so the
+ * new side must reach zero allocations once warmed; checksum equality
+ * between the two sides is asserted, so the A/B also functions as a
+ * differential test of the flat containers against the node-based
+ * originals.
+ */
+template <typename State>
+struct AccessDriver {
+    State st;
+    BenchRng rng{0x5eed5eedull};
+
+    static constexpr std::uint32_t kLines = kAccessLines;
+    static constexpr Addr kLineBase = kAccessLineBase;
+    static constexpr std::uint32_t kWindow = kAccessWindow;
+    static constexpr std::uint32_t kOpsPerRetire = kAccessOpsPerRetire;
+
+    TaskId oldest = 1;
+    TaskId nextTask = 1;
+    std::uint32_t sinceRetire = 0;
+    std::uint32_t rr = 0; // round-robin reader cursor
+    std::uint64_t checksum = 0;
+    std::vector<std::vector<Addr>> dirty{kWindow};
+    std::vector<mem::UndoLogEntry> recovery;
+
+    /**
+     * Accesses visit the window's tasks round-robin, so each task
+     * issues exactly lifetime / kWindow = kOpsPerRetire accesses — a
+     * small, deterministic per-task bound on undo-group size, read/
+     * write-set size, dirty lines and overflow entries. Warm every
+     * per-task structure to that bound here (it all drains again, so
+     * both A/B sides start from the same empty abstract state); the
+     * line-keyed tables saturate during the measured loop's warmup
+     * run. Keeping the bounds tight matters for fairness: flat tables
+     * sweep capacity, not live entries, on clear/eraseIf, so oversized
+     * prewarm would tax only the new side.
+     */
+    AccessDriver()
+    {
+        constexpr std::uint32_t kPerTask = kOpsPerRetire + 16;
+        const TaskId scratchTask = TaskId(1) << 30;
+        const mem::VersionTag scratch{scratchTask, 1};
+        recovery.reserve(kPerTask);
+        for (auto &v : dirty)
+            v.reserve(kPerTask);
+        for (auto &s : st.readWords)
+            s.reserve(kPerTask);
+        for (auto &s : st.writtenWords)
+            s.reserve(kPerTask);
+        for (TaskId t = 1; t <= TaskId(kWindow); ++t) {
+            for (std::uint32_t i = 0; i < kPerTask; ++i)
+                st.undo.append(t, mem::UndoLogEntry{});
+            st.undo.dropTask(t);
+        }
+        // Overflow area and violation-word table: warm to the hard
+        // bound of concurrently live entries (kWindow tasks times
+        // kPerTask each), via a throwaway word set.
+        typename std::remove_reference_t<decltype(st.readWords)>::value_type
+            words;
+        for (std::uint32_t i = 0; i < kWindow * kPerTask; ++i) {
+            const Addr line = kLineBase + Addr(i % kLines) * 64;
+            st.ovf.put(line, mem::VersionTag{scratchTask + i, 1}, 1);
+            words.insert(line + (i / kLines) % 8);
+            st.det.noteRead(line + (i / kLines) % 8, scratchTask, 0);
+        }
+        for (std::uint32_t i = 0; i < kWindow * kPerTask; ++i) {
+            const Addr line = kLineBase + Addr(i % kLines) * 64;
+            st.ovf.remove(line, mem::VersionTag{scratchTask + i, 1});
+        }
+        st.det.dropReader(scratchTask, words);
+    }
+
+    static std::size_t slotOf(TaskId t) { return std::size_t(t % kWindow); }
+
+    void
+    step()
+    {
+        if (nextTask - oldest < kWindow) {
+            dirty[slotOf(nextTask)].clear();
+            ++nextTask;
+        }
+        const Addr line = kLineBase + Addr(rng.below(kLines)) * 64;
+        // Round-robin across the window: every task issues exactly
+        // kOpsPerRetire accesses over its lifetime, the bound the
+        // constructor warms capacities to.
+        const TaskId reader =
+            oldest + TaskId(rr % std::uint32_t(nextTask - oldest));
+        rr = (rr + 1) % kWindow;
+        const std::size_t slot = slotOf(reader);
+        const std::uint32_t roll = rng.next();
+        const auto bit = std::uint8_t(1u << (roll & 7u));
+        const mem::VersionTag tag{reader, 1};
+
+        // One handle per access; every read-only query below goes
+        // through it (the new side fetches the list once, the legacy
+        // side re-probes the home index — each side's native pattern).
+        auto ref = probeLine(st.vmap, line);
+
+        // Load path: the visibility query every access starts with,
+        // then the read-set dedup insert and (for first reads) the
+        // word-writer query feeding the violation detector — the
+        // specLoad sequence. Reading word `line + slot` keeps readers
+        // per word disjoint across the window, which bounds the
+        // detector's inline record storage. Copy what the store path
+        // uses before any container call that could grow the home
+        // index.
+        mem::VersionTag prevTag = mem::VersionTag::arch();
+        std::uint8_t prevMask = 0;
+        if (auto *v = qLatestVisible(st.vmap, ref, line, reader)) {
+            prevTag = v->tag;
+            prevMask = v->writeMask;
+            checksum += v->tag.producer + v->writeMask;
+        }
+        if (setInsert(st.readWords[slot], line + Addr(slot))) {
+            st.det.noteRead(line + Addr(slot), reader,
+                            qWordWriter(st.vmap, ref, line, bit, reader));
+        }
+
+        if ((roll & 3u) == 0) { // store
+            const Addr wword = line + Addr((roll >> 8) & 7u);
+            setInsert(st.writtenWords[slot], wword);
+            const TaskId victim = st.det.checkWrite(wword, reader);
+            if (victim != kNoTask)
+                checksum += victim;
+            if (auto *own = qFind(st.vmap, ref, line, tag)) {
+                own->writeMask |= bit;
+                ++checksum;
+            } else if (st.vmap.versionsOf(line).size() < 2) {
+                // versionsOf/create may grow the index: ref is dead,
+                // and nothing uses it past this point.
+                st.undo.append(reader, {line, prevTag, prevMask, reader});
+                st.vmap.create(line, tag, ProcId(reader % kAccessProcs))
+                    .writeMask = bit;
+                dirty[slot].push_back(line);
+                checksum += 2;
+            }
+        } else if ((roll & 15u) == 1) { // L2 eviction of own version
+            if (qFind(st.vmap, ref, line, tag)) {
+                if ((roll & 16u) != 0 && st.mtid.wouldAccept(line, tag)) {
+                    st.mtid.writeBack(line, tag);
+                    ++checksum;
+                } else {
+                    st.ovf.put(line, tag, bit);
+                    checksum += st.ovf.size();
+                }
+            }
+        }
+
+        if (++sinceRetire >= kOpsPerRetire &&
+            nextTask - oldest == kWindow) {
+            sinceRetire = 0;
+            retire();
+        }
+    }
+
+    void
+    retire()
+    {
+        const TaskId t = oldest++;
+        const std::size_t slot = slotOf(t);
+        const mem::VersionTag tag{t, 1};
+        if (rng.below(8) == 0) { // squash: replay the MHB group
+            drainUndo(st.undo, t, recovery);
+            for (const mem::UndoLogEntry &e : recovery)
+                st.mtid.set(e.line, e.oldVersion);
+            checksum += recovery.size();
+            // Squash discards every spilled version the task produced;
+            // commits retire spills line-by-line below, as the engine
+            // does when written-back versions drain.
+            st.ovf.dropTask(t);
+        } else { // commit: free the group
+            st.undo.dropTask(t);
+        }
+        for (Addr l : dirty[slot]) {
+            st.ovf.remove(l, tag);
+            st.vmap.remove(l, tag);
+        }
+        dirty[slot].clear();
+        st.det.dropReader(t, st.readWords[slot]);
+        checksum += st.det.recordsLive();
+        st.readWords[slot].clear();
+        st.writtenWords[slot].clear();
+        checksum += st.undo.size() + st.ovf.size();
+    }
+
+    void
+    run(long ops)
+    {
+        for (long i = 0; i < ops; ++i)
+            step();
+    }
+};
+
+constexpr int kAccessReps = 3;
+
+BenchResult
+benchAccessPathNew(long ops, long long *allocs_out,
+                   std::uint64_t *checksum_out)
+{
+    AccessDriver<NewMemState> d;
+    d.run(ops); // warm every table and slab to steady-state capacity
+    long long allocs_before = g_allocCount.load();
+    double best = 0;
+    for (int rep = 0; rep < kAccessReps; ++rep) {
+        auto start = Clock::now();
+        d.run(ops);
+        double secs = secondsSince(start);
+        best = std::max(best, double(ops) / secs);
+    }
+    *allocs_out = g_allocCount.load() - allocs_before;
+    *checksum_out = d.checksum;
+    if (d.checksum == 0)
+        std::abort();
+    return {"access_path_new", best, "accesses/sec"};
+}
+
+BenchResult
+benchAccessPathLegacy(long ops, std::uint64_t *checksum_out)
+{
+    AccessDriver<LegacyMemState> d;
+    d.run(ops);
+    double best = 0;
+    for (int rep = 0; rep < kAccessReps; ++rep) {
+        auto start = Clock::now();
+        d.run(ops);
+        double secs = secondsSince(start);
+        best = std::max(best, double(ops) / secs);
+    }
+    *checksum_out = d.checksum;
+    if (d.checksum == 0)
+        std::abort();
+    return {"access_path_legacy", best, "accesses/sec"};
+}
+
 /**
  * End-to-end: one Figure-9-style point. Reports simulated accesses per
  * wall second and doubles as a determinism guard: two runs of the same
@@ -401,9 +801,11 @@ benchMain(int argc, char **argv)
 
     const long event_quota = short_mode ? 300'000 : 4'000'000;
     const long counter_iters = short_mode ? 2'000'000 : 50'000'000;
+    const long access_quota = short_mode ? 300'000 : 3'000'000;
 
     std::vector<BenchResult> results;
-    long long sched_allocs = 0, inc_allocs = 0;
+    long long sched_allocs = 0, inc_allocs = 0, access_allocs = 0;
+    std::uint64_t access_sum_new = 0, access_sum_legacy = 0;
 
     BenchResult ev_new = benchEventQueueNew(event_quota, &sched_allocs);
     BenchResult ev_old = benchEventQueueLegacy(event_quota);
@@ -422,6 +824,17 @@ benchMain(int argc, char **argv)
     results.push_back({"counter_speedup",
                        cn_interned.metric / cn_name.metric, "x"});
 
+    BenchResult ap_new = benchAccessPathNew(access_quota, &access_allocs,
+                                            &access_sum_new);
+    BenchResult ap_old = benchAccessPathLegacy(access_quota,
+                                               &access_sum_legacy);
+    results.push_back(ap_new);
+    results.push_back(ap_old);
+    results.push_back(
+        {"access_path_speedup", ap_new.metric / ap_old.metric, "x"});
+    results.push_back({"access_path_allocs", double(access_allocs),
+                       "allocs/steady-state-run"});
+
     for (BenchResult &r : benchEndToEnd(short_mode))
         results.push_back(r);
 
@@ -438,6 +851,35 @@ benchMain(int argc, char **argv)
         std::fprintf(stderr,
                      "bench_hotpath: interned counter inc allocated\n");
         return 1;
+    }
+    if (access_allocs != 0) {
+        std::fprintf(stderr,
+                     "bench_hotpath: access path allocated %lld times "
+                     "at steady state\n",
+                     access_allocs);
+        return 1;
+    }
+    if (access_sum_new != access_sum_legacy) {
+        std::fprintf(stderr,
+                     "bench_hotpath: access-path A/B sides diverged "
+                     "(new %llu vs legacy %llu)\n",
+                     (unsigned long long)access_sum_new,
+                     (unsigned long long)access_sum_legacy);
+        return 1;
+    }
+
+    // Perf-regression guard: every tracked A/B must stay at or above
+    // parity. CI runs this through the --short CTest target, so a
+    // change that makes any optimized path slower than its legacy
+    // counterpart fails the build.
+    for (const BenchResult &r : results) {
+        if (r.bench.ends_with("_speedup") && r.metric < 1.0) {
+            std::fprintf(stderr,
+                         "bench_hotpath: %s regressed below 1.0x "
+                         "(%.3f)\n",
+                         r.bench.c_str(), r.metric);
+            return 1;
+        }
     }
 
     for (const BenchResult &r : results)

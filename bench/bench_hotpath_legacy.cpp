@@ -1,5 +1,7 @@
 #include "bench_hotpath_legacy.hpp"
 
+#include <algorithm>
+
 namespace tlsim::bench {
 
 std::uint64_t
@@ -44,6 +46,208 @@ LegacyEventQueue::run()
 {
     while (step()) {
     }
+}
+
+void
+LegacyOverflowArea::put(Addr line, mem::VersionTag version,
+                        std::uint8_t write_mask)
+{
+    Key key{line, version.producer, version.incarnation};
+    auto [it, inserted] = entries_.emplace(key, write_mask);
+    if (!inserted)
+        it->second |= write_mask;
+    else
+        ++spills_;
+    if (entries_.size() > peak_)
+        peak_ = entries_.size();
+}
+
+bool
+LegacyOverflowArea::contains(Addr line, mem::VersionTag version) const
+{
+    return entries_.count(Key{line, version.producer,
+                              version.incarnation}) != 0;
+}
+
+bool
+LegacyOverflowArea::remove(Addr line, mem::VersionTag version)
+{
+    return entries_.erase(Key{line, version.producer,
+                              version.incarnation}) != 0;
+}
+
+void
+LegacyOverflowArea::dropTask(TaskId producer)
+{
+    for (auto it = entries_.begin(); it != entries_.end();) {
+        if (it->first.producer == producer)
+            it = entries_.erase(it);
+        else
+            ++it;
+    }
+}
+
+void
+LegacyUndoLog::append(TaskId overwriting, const mem::UndoLogEntry &entry)
+{
+    groups_[overwriting].push_back(entry);
+    ++liveEntries_;
+    ++appends_;
+    if (liveEntries_ > peak_)
+        peak_ = liveEntries_;
+}
+
+std::size_t
+LegacyUndoLog::countOf(TaskId task) const
+{
+    auto it = groups_.find(task);
+    return it == groups_.end() ? 0 : it->second.size();
+}
+
+void
+LegacyUndoLog::dropTask(TaskId task)
+{
+    auto it = groups_.find(task);
+    if (it == groups_.end())
+        return;
+    liveEntries_ -= it->second.size();
+    groups_.erase(it);
+}
+
+std::vector<mem::UndoLogEntry>
+LegacyUndoLog::takeForRecovery(TaskId task)
+{
+    auto it = groups_.find(task);
+    if (it == groups_.end())
+        return {};
+    std::vector<mem::UndoLogEntry> out = std::move(it->second);
+    liveEntries_ -= out.size();
+    groups_.erase(it);
+    std::reverse(out.begin(), out.end());
+    return out;
+}
+
+void
+LegacyViolationDetector::noteRead(Addr word, TaskId reader,
+                                  TaskId observed)
+{
+    byWord_[word].push_back(ReadRecord{reader, observed});
+    ++records_;
+}
+
+TaskId
+LegacyViolationDetector::checkWrite(Addr word, TaskId writer) const
+{
+    auto it = byWord_.find(word);
+    if (it == byWord_.end())
+        return kNoTask;
+    TaskId victim = kNoTask;
+    for (const ReadRecord &r : it->second) {
+        if (r.reader > writer && r.observed < writer && r.reader < victim)
+            victim = r.reader;
+    }
+    return victim;
+}
+
+void
+LegacyViolationDetector::dropReader(TaskId reader,
+                                    const std::unordered_set<Addr> &words)
+{
+    for (Addr word : words) {
+        auto it = byWord_.find(word);
+        if (it == byWord_.end())
+            continue;
+        auto &vec = it->second;
+        auto new_end = std::remove_if(
+            vec.begin(), vec.end(),
+            [reader](const ReadRecord &r) { return r.reader == reader; });
+        records_ -= std::uint64_t(vec.end() - new_end);
+        vec.erase(new_end, vec.end());
+        if (vec.empty())
+            byWord_.erase(it);
+    }
+}
+
+tls::VersionInfo *
+LegacyVersionMap::latestVisible(Addr line, TaskId reader)
+{
+    auto it = lines_.find(line);
+    if (it == lines_.end())
+        return nullptr;
+    auto &vec = it->second;
+    for (auto rit = vec.rbegin(); rit != vec.rend(); ++rit) {
+        if (rit->tag.producer <= reader)
+            return &*rit;
+    }
+    return nullptr;
+}
+
+tls::VersionInfo *
+LegacyVersionMap::find(Addr line, mem::VersionTag tag)
+{
+    auto it = lines_.find(line);
+    if (it == lines_.end())
+        return nullptr;
+    for (auto &v : it->second) {
+        if (v.tag == tag)
+            return &v;
+    }
+    return nullptr;
+}
+
+TaskId
+LegacyVersionMap::latestWordWriter(Addr line, std::uint8_t word_bit,
+                                   TaskId reader)
+{
+    auto it = lines_.find(line);
+    if (it == lines_.end())
+        return 0;
+    auto &vec = it->second;
+    for (auto rit = vec.rbegin(); rit != vec.rend(); ++rit) {
+        if (rit->tag.producer <= reader && (rit->writeMask & word_bit))
+            return rit->tag.producer;
+    }
+    return 0;
+}
+
+tls::VersionList &
+LegacyVersionMap::versionsOf(Addr line)
+{
+    return lines_[line];
+}
+
+tls::VersionInfo &
+LegacyVersionMap::create(Addr line, mem::VersionTag tag, ProcId owner)
+{
+    auto &vec = lines_[line];
+    auto pos = std::lower_bound(
+        vec.begin(), vec.end(), tag.producer,
+        [](const tls::VersionInfo &v, TaskId p) {
+            return v.tag.producer < p;
+        });
+    tls::VersionInfo info;
+    info.tag = tag;
+    info.cacheOwner = owner;
+    ++totalVersions_;
+    return *vec.insert(pos, info);
+}
+
+void
+LegacyVersionMap::remove(Addr line, mem::VersionTag tag)
+{
+    auto it = lines_.find(line);
+    if (it == lines_.end())
+        return;
+    auto &vec = it->second;
+    for (auto vit = vec.begin(); vit != vec.end(); ++vit) {
+        if (vit->tag == tag) {
+            vec.erase(vit);
+            --totalVersions_;
+            break;
+        }
+    }
+    if (vec.empty())
+        lines_.erase(it);
 }
 
 } // namespace tlsim::bench

@@ -1,13 +1,23 @@
 /**
  * @file
- * The pre-PR event kernel, embedded verbatim for bench_hotpath's
- * honest A/B: binary min-heap of entries owning std::function
- * callbacks (heap allocation per schedule for captures beyond the
- * std::function SBO), lazy cancellation through an unordered_set of
- * ids. Methods are defined in a separate translation unit so the
- * legacy side faces the same call boundary the real pre-PR kernel had
- * (it lived in the common library, not headers) — otherwise the
- * comparison would inline one side and not the other.
+ * Pre-optimization hot-path structures, embedded verbatim for
+ * bench_hotpath's honest A/B.
+ *
+ * PR 2 kernel baseline: binary min-heap of entries owning
+ * std::function callbacks (heap allocation per schedule for captures
+ * beyond the std::function SBO), lazy cancellation through an
+ * unordered_set of ids.
+ *
+ * PR 3 memory-system baseline: the node-based MTID / overflow /
+ * undo-log / version-index containers (std::unordered_map and
+ * std::map) exactly as they were before the flat-map migration.
+ *
+ * Methods are defined in a separate translation unit so the legacy
+ * side faces the same call boundary the real pre-PR code had (it
+ * lived in the mem/tls libraries, not headers) — otherwise the
+ * comparison would inline one side and not the other. LegacyMtidTable
+ * stays header-inline because the real pre-PR MtidTable was
+ * header-only too.
  */
 
 #ifndef TLSIM_BENCH_HOTPATH_LEGACY_HPP
@@ -15,11 +25,17 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <queue>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "common/small_vec.hpp"
 #include "common/types.hpp"
+#include "mem/undo_log.hpp"
+#include "mem/version_tag.hpp"
+#include "tls/version_map.hpp"
 
 namespace tlsim::bench {
 
@@ -60,6 +76,168 @@ class LegacyEventQueue
     Cycle now_ = 0;
     std::uint64_t nextId_ = 1;
     std::size_t liveEvents_ = 0;
+};
+
+/**
+ * Pre-flat-map MtidTable: std::unordered_map per-line tags.
+ * Header-inline like the real pre-PR class.
+ */
+class LegacyMtidTable
+{
+  public:
+    mem::VersionTag
+    versionOf(Addr line) const
+    {
+        auto it = tags_.find(line);
+        return it == tags_.end() ? mem::VersionTag::arch() : it->second;
+    }
+
+    bool
+    wouldAccept(Addr line, mem::VersionTag incoming) const
+    {
+        mem::VersionTag cur = versionOf(line);
+        if (incoming.producer > cur.producer)
+            return true;
+        if (incoming.producer == cur.producer &&
+            incoming.incarnation >= cur.incarnation)
+            return true;
+        return false;
+    }
+
+    bool
+    writeBack(Addr line, mem::VersionTag incoming)
+    {
+        if (!wouldAccept(line, incoming)) {
+            ++rejects_;
+            return false;
+        }
+        set(line, incoming);
+        ++accepts_;
+        return true;
+    }
+
+    void
+    set(Addr line, mem::VersionTag version)
+    {
+        if (version.isArch())
+            tags_.erase(line);
+        else
+            tags_[line] = version;
+    }
+
+    std::uint64_t accepts() const { return accepts_; }
+    std::uint64_t rejects() const { return rejects_; }
+    std::size_t taggedLines() const { return tags_.size(); }
+
+  private:
+    std::unordered_map<Addr, mem::VersionTag> tags_;
+    std::uint64_t accepts_ = 0;
+    std::uint64_t rejects_ = 0;
+};
+
+/** Pre-flat-map OverflowArea: std::unordered_map keyed by (line, tag). */
+class LegacyOverflowArea
+{
+  public:
+    void put(Addr line, mem::VersionTag version, std::uint8_t write_mask);
+    bool contains(Addr line, mem::VersionTag version) const;
+    bool remove(Addr line, mem::VersionTag version);
+    void dropTask(TaskId producer);
+    std::size_t size() const { return entries_.size(); }
+
+  private:
+    struct Key {
+        Addr line;
+        TaskId producer;
+        std::uint32_t incarnation;
+        bool
+        operator==(const Key &o) const
+        {
+            return line == o.line && producer == o.producer &&
+                   incarnation == o.incarnation;
+        }
+    };
+    struct KeyHash {
+        std::size_t
+        operator()(const Key &k) const
+        {
+            std::size_t h = std::hash<Addr>()(k.line);
+            h ^= std::hash<TaskId>()(k.producer) + 0x9e3779b9 + (h << 6);
+            h ^= std::hash<std::uint32_t>()(k.incarnation) + (h >> 2);
+            return h;
+        }
+    };
+
+    std::unordered_map<Key, std::uint8_t, KeyHash> entries_;
+    std::size_t peak_ = 0;
+    std::uint64_t spills_ = 0;
+};
+
+/**
+ * Pre-arena UndoLog: std::map of per-task entry vectors, node
+ * allocation per task group and takeForRecovery returning a fresh
+ * vector by value.
+ */
+class LegacyUndoLog
+{
+  public:
+    void append(TaskId overwriting, const mem::UndoLogEntry &entry);
+    std::size_t countOf(TaskId task) const;
+    void dropTask(TaskId task);
+    std::vector<mem::UndoLogEntry> takeForRecovery(TaskId task);
+    std::size_t size() const { return liveEntries_; }
+
+  private:
+    std::map<TaskId, std::vector<mem::UndoLogEntry>> groups_;
+    std::size_t liveEntries_ = 0;
+    std::size_t peak_ = 0;
+    std::uint64_t appends_ = 0;
+};
+
+/**
+ * Pre-flat-map ViolationDetector: std::unordered_map keyed by word
+ * with the same inline ReadRecord payload, per-reader drop driven by a
+ * node-based std::unordered_set read set.
+ */
+class LegacyViolationDetector
+{
+  public:
+    void noteRead(Addr word, TaskId reader, TaskId observed);
+    TaskId checkWrite(Addr word, TaskId writer) const;
+    void dropReader(TaskId reader, const std::unordered_set<Addr> &words);
+    std::uint64_t recordsLive() const { return records_; }
+
+  private:
+    struct ReadRecord {
+        TaskId reader;
+        TaskId observed;
+    };
+
+    std::unordered_map<Addr, SmallVec<ReadRecord, 2>> byWord_;
+    std::uint64_t records_ = 0;
+};
+
+/**
+ * Pre-flat-map VersionMap: std::unordered_map<Addr, VersionList> home
+ * index, one node allocation per tracked line. Reuses the real
+ * tls::VersionInfo / tls::VersionList payload types so only the index
+ * container differs between the A/B sides.
+ */
+class LegacyVersionMap
+{
+  public:
+    tls::VersionInfo *latestVisible(Addr line, TaskId reader);
+    tls::VersionInfo *find(Addr line, mem::VersionTag tag);
+    TaskId latestWordWriter(Addr line, std::uint8_t word_bit, TaskId reader);
+    tls::VersionList &versionsOf(Addr line);
+    tls::VersionInfo &create(Addr line, mem::VersionTag tag, ProcId owner);
+    void remove(Addr line, mem::VersionTag tag);
+    std::size_t linesTracked() const { return lines_.size(); }
+    std::size_t totalVersions() const { return totalVersions_; }
+
+  private:
+    std::unordered_map<Addr, tls::VersionList> lines_;
+    std::size_t totalVersions_ = 0;
 };
 
 } // namespace tlsim::bench

@@ -14,8 +14,8 @@
 #define TLSIM_MEM_MTID_TABLE_HPP
 
 #include <cstdint>
-#include <unordered_map>
 
+#include "common/flat_map.hpp"
 #include "common/types.hpp"
 #include "mem/version_tag.hpp"
 
@@ -32,8 +32,8 @@ class MtidTable
     VersionTag
     versionOf(Addr line) const
     {
-        auto it = tags_.find(line);
-        return it == tags_.end() ? VersionTag::arch() : it->second;
+        const VersionTag *tag = tags_.find(line);
+        return tag ? *tag : VersionTag::arch();
     }
 
     /**
@@ -76,7 +76,7 @@ class MtidTable
         if (version.isArch())
             tags_.erase(line);
         else
-            tags_[line] = version;
+            tags_.insertOrAssign(line, version);
     }
 
     std::uint64_t accepts() const { return accepts_; }
@@ -92,7 +92,7 @@ class MtidTable
     }
 
   private:
-    std::unordered_map<Addr, VersionTag> tags_;
+    FlatMap<Addr, VersionTag> tags_;
     std::uint64_t accepts_ = 0;
     std::uint64_t rejects_ = 0;
 };

@@ -6,9 +6,9 @@ void
 OverflowArea::put(Addr line, VersionTag version, std::uint8_t write_mask)
 {
     Key key{line, version.producer, version.incarnation};
-    auto [it, inserted] = entries_.emplace(key, write_mask);
+    auto [mask, inserted] = entries_.emplace(key, write_mask);
     if (!inserted)
-        it->second |= write_mask;
+        *mask |= write_mask;
     else
         ++spills_;
     if (entries_.size() > peak_)
@@ -18,26 +18,23 @@ OverflowArea::put(Addr line, VersionTag version, std::uint8_t write_mask)
 bool
 OverflowArea::contains(Addr line, VersionTag version) const
 {
-    return entries_.count(Key{line, version.producer,
-                              version.incarnation}) != 0;
+    return entries_.contains(Key{line, version.producer,
+                                 version.incarnation});
 }
 
 bool
 OverflowArea::remove(Addr line, VersionTag version)
 {
     return entries_.erase(Key{line, version.producer,
-                              version.incarnation}) != 0;
+                              version.incarnation});
 }
 
 void
 OverflowArea::dropTask(TaskId producer)
 {
-    for (auto it = entries_.begin(); it != entries_.end();) {
-        if (it->first.producer == producer)
-            it = entries_.erase(it);
-        else
-            ++it;
-    }
+    entries_.eraseIf([producer](const Key &key, std::uint8_t) {
+        return key.producer == producer;
+    });
 }
 
 void

@@ -13,8 +13,8 @@
 #define TLSIM_MEM_OVERFLOW_AREA_HPP
 
 #include <cstdint>
-#include <unordered_map>
 
+#include "common/flat_map.hpp"
 #include "common/types.hpp"
 #include "mem/version_tag.hpp"
 
@@ -64,17 +64,16 @@ class OverflowArea
         }
     };
     struct KeyHash {
-        std::size_t
+        std::uint64_t
         operator()(const Key &k) const
         {
-            std::size_t h = std::hash<Addr>()(k.line);
-            h ^= std::hash<TaskId>()(k.producer) + 0x9e3779b9 + (h << 6);
-            h ^= std::hash<std::uint32_t>()(k.incarnation) + (h >> 2);
-            return h;
+            std::uint64_t h = flatHashMix(k.line);
+            h = flatHashMix(h ^ std::uint64_t(k.producer));
+            return flatHashMix(h ^ k.incarnation);
         }
     };
 
-    std::unordered_map<Key, std::uint8_t, KeyHash> entries_;
+    FlatMap<Key, std::uint8_t, KeyHash> entries_;
     std::size_t peak_ = 0;
     std::uint64_t spills_ = 0;
 };

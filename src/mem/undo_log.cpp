@@ -1,13 +1,27 @@
 #include "mem/undo_log.hpp"
 
-#include <algorithm>
-
 namespace tlsim::mem {
+
+std::vector<UndoLogEntry> &
+UndoLog::groupOf(TaskId task)
+{
+    auto [slot, inserted] = slotOf_.emplace(task, 0);
+    if (inserted) {
+        if (!freeSlots_.empty()) {
+            *slot = freeSlots_.back();
+            freeSlots_.pop_back();
+        } else {
+            *slot = std::uint32_t(slabs_.size());
+            slabs_.emplace_back();
+        }
+    }
+    return slabs_[*slot];
+}
 
 void
 UndoLog::append(TaskId overwriting, const UndoLogEntry &entry)
 {
-    groups_[overwriting].push_back(entry);
+    groupOf(overwriting).push_back(entry);
     ++liveEntries_;
     ++appends_;
     if (liveEntries_ > peak_)
@@ -18,44 +32,55 @@ const std::vector<UndoLogEntry> &
 UndoLog::entriesOf(TaskId task) const
 {
     static const std::vector<UndoLogEntry> kEmpty;
-    auto it = groups_.find(task);
-    return it == groups_.end() ? kEmpty : it->second;
+    const std::uint32_t *slot = slotOf_.find(task);
+    return slot ? slabs_[*slot] : kEmpty;
 }
 
 std::size_t
 UndoLog::countOf(TaskId task) const
 {
-    auto it = groups_.find(task);
-    return it == groups_.end() ? 0 : it->second.size();
+    const std::uint32_t *slot = slotOf_.find(task);
+    return slot ? slabs_[*slot].size() : 0;
 }
 
 void
 UndoLog::dropTask(TaskId task)
 {
-    auto it = groups_.find(task);
-    if (it == groups_.end())
+    const std::uint32_t *slot = slotOf_.find(task);
+    if (!slot)
         return;
-    liveEntries_ -= it->second.size();
-    groups_.erase(it);
+    std::vector<UndoLogEntry> &slab = slabs_[*slot];
+    liveEntries_ -= slab.size();
+    slab.clear(); // capacity kept for the slot's next owner
+    freeSlots_.push_back(*slot);
+    slotOf_.erase(task);
 }
 
-std::vector<UndoLogEntry>
-UndoLog::takeForRecovery(TaskId task)
+void
+UndoLog::takeForRecovery(TaskId task, std::vector<UndoLogEntry> &out)
 {
-    auto it = groups_.find(task);
-    if (it == groups_.end())
-        return {};
-    std::vector<UndoLogEntry> out = std::move(it->second);
-    liveEntries_ -= out.size();
-    groups_.erase(it);
-    std::reverse(out.begin(), out.end());
-    return out;
+    out.clear();
+    const std::uint32_t *slot = slotOf_.find(task);
+    if (!slot)
+        return;
+    std::vector<UndoLogEntry> &slab = slabs_[*slot];
+    liveEntries_ -= slab.size();
+    out.reserve(slab.size());
+    for (auto it = slab.rbegin(); it != slab.rend(); ++it)
+        out.push_back(*it);
+    slab.clear();
+    freeSlots_.push_back(*slot);
+    slotOf_.erase(task);
 }
 
 void
 UndoLog::clear()
 {
-    groups_.clear();
+    slotOf_.forEach([this](const TaskId &, std::uint32_t &slot) {
+        slabs_[slot].clear();
+        freeSlots_.push_back(slot);
+    });
+    slotOf_.clear();
     liveEntries_ = 0;
 }
 

@@ -14,9 +14,9 @@
 #define TLSIM_MEM_UNDO_LOG_HPP
 
 #include <cstdint>
-#include <map>
 #include <vector>
 
+#include "common/flat_map.hpp"
 #include "common/types.hpp"
 #include "mem/version_tag.hpp"
 
@@ -39,6 +39,14 @@ struct UndoLogEntry {
  * Entries are grouped by overwriting task so that recovery can replay
  * exactly the squashed tasks' groups in reverse order, and commit can
  * free groups cheaply.
+ *
+ * Storage is a slab arena: each in-flight task owns a slot in a pool
+ * of entry vectors, found through a flat TaskId→slot directory. Commit
+ * and recovery return the slot to a free list with its capacity kept,
+ * so a processor that has warmed up past its deepest in-flight window
+ * appends, commits and recovers without touching the allocator — the
+ * node-per-group churn of the previous std::map representation is the
+ * exact cost this removes from the access hot path.
  */
 class UndoLog
 {
@@ -56,10 +64,21 @@ class UndoLog
     void dropTask(TaskId task);
 
     /**
-     * Remove and return @p task's entries in *reverse* append order,
-     * ready to be replayed by the recovery handler.
+     * Move @p task's entries into @p out in *reverse* append order,
+     * ready to be replayed by the recovery handler, and free the
+     * task's slab slot. @p out is overwritten, not appended to; pass a
+     * reused scratch buffer to keep recovery allocation-free.
      */
-    std::vector<UndoLogEntry> takeForRecovery(TaskId task);
+    void takeForRecovery(TaskId task, std::vector<UndoLogEntry> &out);
+
+    /** Convenience overload returning a fresh vector (tests/benches). */
+    std::vector<UndoLogEntry>
+    takeForRecovery(TaskId task)
+    {
+        std::vector<UndoLogEntry> out;
+        takeForRecovery(task, out);
+        return out;
+    }
 
     /** Total live entries across all groups. */
     std::size_t size() const { return liveEntries_; }
@@ -73,7 +92,14 @@ class UndoLog
     void clear();
 
   private:
-    std::map<TaskId, std::vector<UndoLogEntry>> groups_;
+    std::vector<UndoLogEntry> &groupOf(TaskId task);
+
+    /** In-flight task → index into slabs_. */
+    FlatMap<TaskId, std::uint32_t> slotOf_;
+    /** Slab pool; retired slots keep their capacity for reuse. */
+    std::vector<std::vector<UndoLogEntry>> slabs_;
+    /** Retired slot indices awaiting reuse. */
+    std::vector<std::uint32_t> freeSlots_;
     std::size_t liveEntries_ = 0;
     std::size_t peak_ = 0;
     std::uint64_t appends_ = 0;

@@ -53,6 +53,21 @@ SpeculationEngine::SpeculationEngine(const EngineConfig &cfg,
     l2Ports_.resize(m.numProcs);
     dirBanks_.resize(m.numBanks);
 
+    // The address-independent pieces of directory routing are fixed at
+    // construction: proc→node, home→node and home→directory-bank. The
+    // access paths index these tables instead of dividing per access.
+    unsigned nodes = net_->numNodes();
+    nodeOfProc_.resize(m.numProcs);
+    for (unsigned p = 0; p < m.numProcs; ++p)
+        nodeOfProc_[p] = p % nodes;
+    unsigned home_domain = std::max(m.numProcs, m.numBanks);
+    nodeOfHome_.resize(home_domain);
+    dirBankOfHome_.resize(home_domain);
+    for (unsigned h = 0; h < home_domain; ++h) {
+        nodeOfHome_[h] = h % nodes;
+        dirBankOfHome_[h] = h % m.numBanks;
+    }
+
     cpu::CoreParams core_params;
     core_params.ipc = m.ipc;
     core_params.loadHide = m.loadHide;
@@ -300,8 +315,8 @@ SpeculationEngine::mergeTaskState(TaskId id, Cycle start)
             counters_.inc(sid_.commitOverflowFetches);
         }
         unsigned home = homeOf(line);
-        net_->traverse(start, r.proc % net_->numNodes(),
-                       home % net_->numNodes(), noc::MsgClass::Data);
+        net_->traverse(start, nodeOfProc_[r.proc], nodeOfHome_[home],
+                       noc::MsgClass::Data);
         memBanks_.access(home, start);
         Cycle ow;
         if (m.isNuma())
@@ -481,13 +496,28 @@ SpeculationEngine::finalMergeProc(ProcId proc, Cycle start)
 {
     // Same pipelined-drain model as mergeTaskState, but sweeping all
     // of this processor's committed-unmerged versions in parallel with
-    // the other processors' sweeps.
+    // the other processors' sweeps. The sweep order is canonical
+    // (ascending line address, then producer): the network traffic it
+    // issues reserves shared links, so the order must be defined by
+    // the model, not by whatever the version index iterates in.
     const mem::MachineParams &m = cfg_.machine;
     Cycle issue = start;
     Cycle oneway = 0;
+    mergeScratch_.clear();
     versions_.forEach([&](Addr line, VersionInfo &v) {
         if (!v.committed || v.inMemory || v.cacheOwner != proc)
             return;
+        mergeScratch_.emplace_back(line, &v);
+    });
+    std::sort(mergeScratch_.begin(), mergeScratch_.end(),
+              [](const std::pair<Addr, VersionInfo *> &a,
+                 const std::pair<Addr, VersionInfo *> &b) {
+                  if (a.first != b.first)
+                      return a.first < b.first;
+                  return a.second->tag.producer < b.second->tag.producer;
+              });
+    for (auto &[line, vp] : mergeScratch_) {
+        VersionInfo &v = *vp;
         // Only the latest committed version of a line needs a
         // write-back; earlier ones are invalidated by the VCL. Both
         // cost a sweep step, but only the write-back travels.
@@ -502,8 +532,8 @@ SpeculationEngine::finalMergeProc(ProcId proc, Cycle start)
         counters_.inc(sid_.finalMergeLines);
         if (latest == &v) {
             unsigned home = homeOf(line);
-            net_->traverse(start, proc % net_->numNodes(),
-                           home % net_->numNodes(), noc::MsgClass::Data);
+            net_->traverse(start, nodeOfProc_[proc], nodeOfHome_[home],
+                           noc::MsgClass::Data);
             memBanks_.access(home, start);
             Cycle ow;
             if (m.isNuma())
@@ -526,7 +556,7 @@ SpeculationEngine::finalMergeProc(ProcId proc, Cycle start)
             l1_[proc]->invalidateVersion(line, v.tag);
         }
         v.cacheOwner = kNoProc;
-    });
+    }
     return issue + oneway;
 }
 
@@ -676,7 +706,8 @@ SpeculationEngine::runRecoveryQueue()
     recoveryActive_ = true;
     recoveryProc_.erase(id);
 
-    auto entries = logs_[proc].takeForRecovery(id);
+    logs_[proc].takeForRecovery(id, recoveryScratch_);
+    const auto &entries = recoveryScratch_;
     counters_.inc(sid_.recoveryEntriesReplayed, entries.size());
 
     // Replay: restore each overwritten version to main memory. The

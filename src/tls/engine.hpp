@@ -144,6 +144,20 @@ class SpeculationEngine : public cpu::SpecMemoryIf,
     /** Squash-time owner of a task awaiting FMM recovery. */
     std::unordered_map<TaskId, ProcId> recoveryProc_;
 
+    // --- precomputed mappings & reusable scratch ---
+    /** proc → NoC node (replaces per-access `% nodes`). */
+    std::vector<unsigned> nodeOfProc_;
+    /** homeOf(line) result → NoC node. */
+    std::vector<unsigned> nodeOfHome_;
+    /** homeOf(line) result → directory bank index. */
+    std::vector<unsigned> dirBankOfHome_;
+    /** vclMergeLine displacement scan (was a per-call vector). */
+    SmallVec<mem::VersionTag, 8> deadScratch_;
+    /** runRecoveryQueue undo-log drain buffer (reused, reversed). */
+    std::vector<mem::UndoLogEntry> recoveryScratch_;
+    /** finalMergeProc canonical sweep worklist (line-sorted). */
+    std::vector<std::pair<Addr, VersionInfo *>> mergeScratch_;
+
     // --- statistics ---
     CounterSet counters_;
     /**

@@ -28,12 +28,11 @@ SpeculationEngine::dirRoundTrip(ProcId proc, unsigned home, Cycle now,
     // intra-access offsets (tens of cycles) are far below contention
     // timescales, and reserving at future instants would leave phantom
     // idle gaps in the single-horizon Resource model.
-    unsigned nodes = net_->numNodes();
-    Cycle d = net_->traverse(now, proc % nodes, home % nodes,
+    Cycle d = net_->traverse(now, nodeOfProc_[proc], nodeOfHome_[home],
                              noc::MsgClass::Control);
-    d += dirBanks_[home % dirBanks_.size()].acquire(
+    d += dirBanks_[dirBankOfHome_[home]].acquire(
         now, cfg_.machine.occDirBank);
-    d += net_->traverse(now, home % nodes, proc % nodes,
+    d += net_->traverse(now, nodeOfHome_[home], nodeOfProc_[proc],
                         data_reply ? noc::MsgClass::Data
                                    : noc::MsgClass::Control);
     return d;
@@ -42,10 +41,9 @@ SpeculationEngine::dirRoundTrip(ProcId proc, unsigned home, Cycle now,
 Cycle
 SpeculationEngine::backgroundWriteBack(ProcId proc, Addr line, Cycle when)
 {
-    unsigned nodes = net_->numNodes();
     unsigned home = homeOf(line);
     Cycle t = when;
-    t += net_->traverse(when, proc % nodes, home % nodes,
+    t += net_->traverse(when, nodeOfProc_[proc], nodeOfHome_[home],
                         noc::MsgClass::Data);
     t += memBanks_.access(home, when);
     return t;
@@ -56,7 +54,6 @@ SpeculationEngine::fetchLatency(ProcId proc, Addr line, VersionInfo *v,
                                 Cycle now, Source *src_out)
 {
     const mem::MachineParams &m = cfg_.machine;
-    unsigned nodes = net_->numNodes();
     unsigned home = homeOf(line);
     Cycle lat = 0;
     Source src = Source::Memory;
@@ -65,7 +62,7 @@ SpeculationEngine::fetchLatency(ProcId proc, Addr line, VersionInfo *v,
         if (!v || v->inMemory) {
             if (home == proc) {
                 lat = m.latLocalMem;
-                lat += dirBanks_[home % dirBanks_.size()].acquire(
+                lat += dirBanks_[dirBankOfHome_[home]].acquire(
                     now, m.occDirBank);
             } else {
                 lat = m.latRemote2Hop;
@@ -86,13 +83,16 @@ SpeculationEngine::fetchLatency(ProcId proc, Addr line, VersionInfo *v,
             } else {
                 bool three_hop = (home != proc && home != q);
                 lat = three_hop ? m.latRemote3Hop : m.latRemote2Hop;
-                lat += net_->traverse(now, proc % nodes, home % nodes,
+                lat += net_->traverse(now, nodeOfProc_[proc],
+                                      nodeOfHome_[home],
                                       noc::MsgClass::Control);
-                lat += dirBanks_[home % dirBanks_.size()].acquire(
+                lat += dirBanks_[dirBankOfHome_[home]].acquire(
                     now, m.occDirBank);
-                lat += net_->traverse(now, home % nodes, q % nodes,
+                lat += net_->traverse(now, nodeOfHome_[home],
+                                      nodeOfProc_[q],
                                       noc::MsgClass::Control);
-                lat += net_->traverse(now, q % nodes, proc % nodes,
+                lat += net_->traverse(now, nodeOfProc_[q],
+                                      nodeOfProc_[proc],
                                       noc::MsgClass::Data);
                 if (v->inOverflow) {
                     lat += m.latLocalMem / 2 + memBanks_.access(q, now);
@@ -118,9 +118,10 @@ SpeculationEngine::fetchLatency(ProcId proc, Addr line, VersionInfo *v,
     } else { // CMP
         if (!v || v->inMemory) {
             VersionTag tag = v ? v->tag : VersionTag::arch();
-            lat = net_->traverse(now, proc % nodes, home % nodes,
+            lat = net_->traverse(now, nodeOfProc_[proc],
+                                 nodeOfHome_[home],
                                  noc::MsgClass::Control);
-            lat += dirBanks_[home % dirBanks_.size()].acquire(
+            lat += dirBanks_[dirBankOfHome_[home]].acquire(
                 now, m.occDirBank);
             if (CacheLineState *f3 = l3_->findVersion(line, tag)) {
                 f3->lastUse = now;
@@ -134,7 +135,8 @@ SpeculationEngine::fetchLatency(ProcId proc, Addr line, VersionInfo *v,
                 l3_->insert(cl, now);
                 counters_.inc(sid_.memoryFetches);
             }
-            lat += net_->traverse(now, home % nodes, proc % nodes,
+            lat += net_->traverse(now, nodeOfHome_[home],
+                                  nodeOfProc_[proc],
                                   noc::MsgClass::Data);
             src = Source::Memory;
         } else if (v->cacheOwner != kNoProc) {
@@ -149,10 +151,12 @@ SpeculationEngine::fetchLatency(ProcId proc, Addr line, VersionInfo *v,
                       "but lookup missed");
             } else {
                 lat = m.latOtherL2;
-                lat += net_->traverse(now, proc % nodes, q % nodes,
+                lat += net_->traverse(now, nodeOfProc_[proc],
+                                      nodeOfProc_[q],
                                       noc::MsgClass::Control);
                 lat += l2Ports_[q].acquire(now, m.occL2Port);
-                lat += net_->traverse(now, q % nodes, proc % nodes,
+                lat += net_->traverse(now, nodeOfProc_[q],
+                                      nodeOfProc_[proc],
                                       noc::MsgClass::Data);
                 src = Source::RemoteCache;
                 counters_.inc(sid_.remoteCacheFetches);
@@ -320,8 +324,9 @@ SpeculationEngine::vclMergeLine(Addr line, Cycle now)
     }
 
     // Earlier committed versions are superseded and dead: invalidate
-    // their copies and drop them.
-    std::vector<VersionTag> dead;
+    // their copies and drop them. The scan's tag list lives in a
+    // member scratch buffer; vclMergeLine never reenters itself.
+    deadScratch_.clear();
     for (auto &vv : versions_.versionsOf(line)) {
         if (vv.committed && !(vv.tag == keep)) {
             if (vv.cacheOwner != kNoProc) {
@@ -332,10 +337,10 @@ SpeculationEngine::vclMergeLine(Addr line, Cycle now)
                     l1_[vv.cacheOwner]->invalidateVersion(line, vv.tag);
                 }
             }
-            dead.push_back(vv.tag);
+            deadScratch_.push_back(vv.tag);
         }
     }
-    for (VersionTag tag : dead) {
+    for (VersionTag tag : deadScratch_) {
         versions_.remove(line, tag);
         counters_.inc(sid_.vclInvalidations);
     }
@@ -359,15 +364,36 @@ SpeculationEngine::specLoad(ProcId proc, Addr addr, Cycle now)
     Addr word = m.wordGranularityDetection ? mem::wordAddr(addr)
                                            : mem::lineAddr(addr);
 
-    VersionInfo *v = versions_.latestVisible(line, task);
+    // One probe of the version index serves visibility, the cache tag
+    // and — on the fast path — the observed-producer read record.
+    VersionList *list = versions_.listOf(line);
+    VersionInfo *v = list ? VersionMap::latestVisibleIn(*list, task)
+                          : nullptr;
     VersionTag tag = v ? v->tag : VersionTag::arch();
 
-    Cycle lat;
     if (CacheLineState *f1 = l1_[proc]->findVersion(line, tag)) {
+        // Uncontended-hit fast path: the owner-local L1 holds the
+        // visible version. No displacement, overflow or directory
+        // machinery can engage, so no Resource is touched and the
+        // probe above is still valid for the read record (nothing
+        // below mutates the version index).
         f1->lastUse = now;
-        lat = m.latL1;
         counters_.inc(sid_.l1Hits);
-    } else if (CacheLineState *f2 = l2_[proc]->findVersion(line, tag)) {
+        TaskRecord &fr = rec(task);
+        if (fr.readWords.insert(word)) {
+            TaskId observed =
+                m.wordGranularityDetection
+                    ? (list ? VersionMap::latestWordWriterIn(
+                                  *list, mem::wordBit(addr), task)
+                            : 0)
+                    : (v ? v->tag.producer : 0);
+            detector_.noteRead(word, task, observed);
+        }
+        return {m.latL1};
+    }
+
+    Cycle lat;
+    if (CacheLineState *f2 = l2_[proc]->findVersion(line, tag)) {
         f2->lastUse = now;
         lat = m.latL2 + l2Ports_[proc].acquire(now, m.occL2Port);
         insertLineL1(proc, line, tag, now);
@@ -408,7 +434,7 @@ SpeculationEngine::specLoad(ProcId proc, Addr addr, Cycle now)
     }
 
     TaskRecord &r = rec(task);
-    if (r.readWords.insert(word).second) {
+    if (r.readWords.insert(word)) {
         TaskId observed =
             m.wordGranularityDetection
                 ? versions_.latestWordWriter(line, mem::wordBit(addr),
@@ -444,10 +470,14 @@ SpeculationEngine::specStore(ProcId proc, Addr addr, Cycle now)
         performSquash(victim, proc);
 
     VersionTag my_tag = r.tag();
-    VersionInfo *own = versions_.find(line, my_tag);
+    // Probed after the squash above (which removes versions); reused
+    // for the own-version lookup, the MultiT&SV scan and the previous-
+    // version lookup — none of the code in between mutates the index.
+    VersionList *list = versions_.listOf(line);
+    VersionInfo *own = list ? VersionMap::findIn(*list, my_tag) : nullptr;
     Addr stat_word = mem::wordAddr(addr); // footprint statistics
     auto note_write = [&]() {
-        if (r.writtenWords.insert(stat_word).second &&
+        if (r.writtenWords.insert(stat_word) &&
             workload_.isPrivAddr(addr)) {
             ++r.privWords;
         }
@@ -456,14 +486,19 @@ SpeculationEngine::specStore(ProcId proc, Addr addr, Cycle now)
     if (own) {
         // Subsequent store to a line this task already versioned.
         own->writeMask |= bit;
-        Cycle lat;
         if (CacheLineState *f1 = l1_[proc]->findVersion(line, my_tag)) {
+            // Uncontended-hit fast path: own version, own L1. Mask
+            // updates only — no Resource, directory or displacement
+            // work is possible.
             f1->lastUse = now;
             f1->writeMask |= bit;
             if (CacheLineState *f2 = l2_[proc]->findVersion(line, my_tag))
                 f2->writeMask |= bit;
-            lat = m.latL1;
-        } else if (CacheLineState *f2 =
+            note_write();
+            return {m.latL1, cpu::StoreStall::None, 0};
+        }
+        Cycle lat;
+        if (CacheLineState *f2 =
                        l2_[proc]->findVersion(line, my_tag)) {
             f2->lastUse = now;
             f2->writeMask |= bit;
@@ -508,10 +543,10 @@ SpeculationEngine::specStore(ProcId proc, Addr addr, Cycle now)
 
     // ---- create a new version ----
 
-    if (!cfg_.scheme.multiVersion()) {
+    if (!cfg_.scheme.multiVersion() && list) {
         // MultiT&SV (and, defensively, SingleT): stall on a second
         // local speculative version of the same variable.
-        for (auto &vv : versions_.versionsOf(line)) {
+        for (auto &vv : *list) {
             if (vv.cacheOwner == proc && !vv.committed &&
                 vv.tag.producer != task) {
                 svWaiters_[vv.tag.producer].push_back({proc, task});
@@ -538,7 +573,8 @@ SpeculationEngine::specStore(ProcId proc, Addr addr, Cycle now)
     // is allocated with a word mask and later reads combine versions
     // (the SVC/Prvulovic01 write-validate style). Only the home
     // directory must learn about the new version.
-    VersionInfo *prev = versions_.latestVisible(line, task);
+    VersionInfo *prev =
+        list ? VersionMap::latestVisibleIn(*list, task) : nullptr;
     VersionTag prev_tag = prev ? prev->tag : VersionTag::arch();
     std::uint8_t prev_mask = prev ? prev->writeMask : 0;
     unsigned home = homeOf(line);
@@ -595,7 +631,7 @@ SpeculationEngine::specStore(ProcId proc, Addr addr, Cycle now)
         }
         nv.inMemory = true;
         mtid_.set(line, my_tag);
-        lat += m.latLocalMem / 2 + memBanks_.access(homeOf(line), now);
+        lat += m.latLocalMem / 2 + memBanks_.access(home, now);
         counters_.inc(sid_.nonspecWritethroughs);
     } else {
         CacheLineState cl;
@@ -665,7 +701,7 @@ SpeculationEngine::seqStore(ProcId proc, Addr addr, Cycle now)
     TaskId task = cores_[proc]->currentTask();
     TaskRecord &r = rec(task);
     Addr word = mem::wordAddr(addr);
-    if (r.writtenWords.insert(word).second && workload_.isPrivAddr(addr))
+    if (r.writtenWords.insert(word) && workload_.isPrivAddr(addr))
         ++r.privWords;
 
     Cycle lat;

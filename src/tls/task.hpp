@@ -8,9 +8,9 @@
 #define TLSIM_TLS_TASK_HPP
 
 #include <cstdint>
-#include <unordered_set>
 #include <vector>
 
+#include "common/flat_map.hpp"
 #include "common/types.hpp"
 #include "mem/version_tag.hpp"
 
@@ -41,11 +41,11 @@ struct TaskRecord {
 
     /** Lines with a version produced by the current incarnation. */
     std::vector<Addr> dirtyLines;
-    std::unordered_set<Addr> dirtyLineSet;
+    FlatSet<Addr> dirtyLineSet;
     /** Distinct words written (footprint statistic). */
-    std::unordered_set<Addr> writtenWords;
+    FlatSet<Addr> writtenWords;
     /** Distinct words read (read-set; violation-record cleanup). */
-    std::unordered_set<Addr> readWords;
+    FlatSet<Addr> readWords;
     /** Words written into the workload's mostly-private region. */
     std::uint64_t privWords = 0;
 
@@ -83,7 +83,7 @@ struct TaskRecord {
     void
     noteDirtyLine(Addr line)
     {
-        if (dirtyLineSet.insert(line).second)
+        if (dirtyLineSet.insert(line))
             dirtyLines.push_back(line);
     }
 };

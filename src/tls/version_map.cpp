@@ -9,38 +9,24 @@ namespace tlsim::tls {
 VersionInfo *
 VersionMap::latestVisible(Addr line, TaskId reader)
 {
-    auto it = lines_.find(line);
-    if (it == lines_.end())
-        return nullptr;
-    auto &vec = it->second;
-    // Vector is sorted ascending by producer; scan from the back.
-    for (auto rit = vec.rbegin(); rit != vec.rend(); ++rit) {
-        if (rit->tag.producer <= reader)
-            return &*rit;
-    }
-    return nullptr;
+    VersionList *list = lines_.find(line);
+    return list ? latestVisibleIn(*list, reader) : nullptr;
 }
 
 VersionInfo *
 VersionMap::find(Addr line, mem::VersionTag tag)
 {
-    auto it = lines_.find(line);
-    if (it == lines_.end())
-        return nullptr;
-    for (auto &v : it->second) {
-        if (v.tag == tag)
-            return &v;
-    }
-    return nullptr;
+    VersionList *list = lines_.find(line);
+    return list ? findIn(*list, tag) : nullptr;
 }
 
 VersionInfo *
 VersionMap::memoryHolder(Addr line)
 {
-    auto it = lines_.find(line);
-    if (it == lines_.end())
+    VersionList *list = lines_.find(line);
+    if (!list)
         return nullptr;
-    for (auto &v : it->second) {
+    for (auto &v : *list) {
         if (v.inMemory)
             return &v;
     }
@@ -50,11 +36,10 @@ VersionMap::memoryHolder(Addr line)
 VersionInfo *
 VersionMap::latestCommitted(Addr line)
 {
-    auto it = lines_.find(line);
-    if (it == lines_.end())
+    VersionList *list = lines_.find(line);
+    if (!list)
         return nullptr;
-    auto &vec = it->second;
-    for (auto rit = vec.rbegin(); rit != vec.rend(); ++rit) {
+    for (auto rit = list->rbegin(); rit != list->rend(); ++rit) {
         if (rit->committed)
             return &*rit;
     }
@@ -65,15 +50,8 @@ TaskId
 VersionMap::latestWordWriter(Addr line, std::uint8_t word_bit,
                              TaskId reader)
 {
-    auto it = lines_.find(line);
-    if (it == lines_.end())
-        return 0;
-    auto &vec = it->second;
-    for (auto rit = vec.rbegin(); rit != vec.rend(); ++rit) {
-        if (rit->tag.producer <= reader && (rit->writeMask & word_bit))
-            return rit->tag.producer;
-    }
-    return 0;
+    VersionList *list = lines_.find(line);
+    return list ? latestWordWriterIn(*list, word_bit, reader) : 0;
 }
 
 VersionList &
@@ -101,28 +79,27 @@ VersionMap::create(Addr line, mem::VersionTag tag, ProcId owner)
 void
 VersionMap::remove(Addr line, mem::VersionTag tag)
 {
-    auto it = lines_.find(line);
-    if (it == lines_.end())
+    VersionList *list = lines_.find(line);
+    if (!list)
         return;
-    auto &vec = it->second;
-    for (auto vit = vec.begin(); vit != vec.end(); ++vit) {
+    for (auto vit = list->begin(); vit != list->end(); ++vit) {
         if (vit->tag == tag) {
-            vec.erase(vit);
+            list->erase(vit);
             --totalVersions_;
             break;
         }
     }
-    if (vec.empty())
-        lines_.erase(it);
+    if (list->empty())
+        lines_.erase(line);
 }
 
 void
 VersionMap::forEach(const std::function<void(Addr, VersionInfo &)> &fn)
 {
-    for (auto &[line, vec] : lines_) {
+    lines_.forEach([&fn](const Addr &line, VersionList &vec) {
         for (auto &v : vec)
             fn(line, v);
-    }
+    });
 }
 
 void

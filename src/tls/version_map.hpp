@@ -16,8 +16,8 @@
 
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
 
+#include "common/flat_map.hpp"
 #include "common/small_vec.hpp"
 #include "common/types.hpp"
 #include "mem/version_tag.hpp"
@@ -52,14 +52,21 @@ struct VersionInfo {
  *
  * Inline storage for two versions: almost every line has one producer
  * plus at most the architectural-successor version, so the common case
- * allocates nothing (the map node itself is the only allocation per
- * line). Heavily multi-versioned lines (the P3m pattern) spill to the
- * heap transparently.
+ * allocates nothing. Heavily multi-versioned lines (the P3m pattern)
+ * spill to the heap transparently.
  */
 using VersionList = SmallVec<VersionInfo, 2>;
 
 /**
  * Versions of all lines, ordered by producer within each line.
+ *
+ * The line→versions index is an open-addressed FlatMap: one probe per
+ * access instead of a node chase, and squash-time line removals shift
+ * in place instead of freeing nodes. Pointers and list references are
+ * invalidated by create()/remove() on *any* line (the table may grow
+ * or backward-shift); callers already refetch after structural calls.
+ * The *In() statics let the engine resolve several questions from one
+ * listOf() probe on the hot path.
  */
 class VersionMap
 {
@@ -90,11 +97,52 @@ class VersionMap
     /** All versions of @p line (ascending producer). */
     VersionList &versionsOf(Addr line);
 
+    /** @p line's list without inserting, or nullptr if untracked. */
+    VersionList *
+    listOf(Addr line)
+    {
+        return lines_.find(line);
+    }
+
+    /** latestVisible over an already-fetched list. */
+    static VersionInfo *
+    latestVisibleIn(VersionList &list, TaskId reader)
+    {
+        for (auto rit = list.rbegin(); rit != list.rend(); ++rit) {
+            if (rit->tag.producer <= reader)
+                return &*rit;
+        }
+        return nullptr;
+    }
+
+    /** find over an already-fetched list. */
+    static VersionInfo *
+    findIn(VersionList &list, mem::VersionTag tag)
+    {
+        for (auto &v : list) {
+            if (v.tag == tag)
+                return &v;
+        }
+        return nullptr;
+    }
+
+    /** latestWordWriter over an already-fetched list. */
+    static TaskId
+    latestWordWriterIn(const VersionList &list, std::uint8_t word_bit,
+                       TaskId reader)
+    {
+        for (auto rit = list.rbegin(); rit != list.rend(); ++rit) {
+            if (rit->tag.producer <= reader && (rit->writeMask & word_bit))
+                return rit->tag.producer;
+        }
+        return 0;
+    }
+
     /** True if any version of @p line exists. */
     bool
     anyVersion(Addr line) const
     {
-        return lines_.count(line) != 0;
+        return lines_.contains(line);
     }
 
     /**
@@ -118,7 +166,7 @@ class VersionMap
     void clear();
 
   private:
-    std::unordered_map<Addr, VersionList> lines_;
+    FlatMap<Addr, VersionList> lines_;
     std::size_t totalVersions_ = 0;
 };
 

@@ -14,11 +14,11 @@ ViolationDetector::noteRead(Addr word, TaskId reader, TaskId observed)
 TaskId
 ViolationDetector::checkWrite(Addr word, TaskId writer) const
 {
-    auto it = byWord_.find(word);
-    if (it == byWord_.end())
+    const auto *vec = byWord_.find(word);
+    if (!vec)
         return kNoTask;
     TaskId victim = kNoTask;
-    for (const ReadRecord &r : it->second) {
+    for (const ReadRecord &r : *vec) {
         if (r.reader > writer && r.observed < writer && r.reader < victim)
             victim = r.reader;
     }
@@ -26,22 +26,20 @@ ViolationDetector::checkWrite(Addr word, TaskId writer) const
 }
 
 void
-ViolationDetector::dropReader(TaskId reader,
-                              const std::unordered_set<Addr> &words)
+ViolationDetector::dropReader(TaskId reader, const FlatSet<Addr> &words)
 {
-    for (Addr word : words) {
-        auto it = byWord_.find(word);
-        if (it == byWord_.end())
-            continue;
-        auto &vec = it->second;
+    words.forEach([this, reader](Addr word) {
+        auto *vec = byWord_.find(word);
+        if (!vec)
+            return;
         auto new_end = std::remove_if(
-            vec.begin(), vec.end(),
+            vec->begin(), vec->end(),
             [reader](const ReadRecord &r) { return r.reader == reader; });
-        records_ -= std::uint64_t(vec.end() - new_end);
-        vec.erase(new_end, vec.end());
-        if (vec.empty())
-            byWord_.erase(it);
-    }
+        records_ -= std::uint64_t(vec->end() - new_end);
+        vec->erase(new_end, vec->end());
+        if (vec->empty())
+            byWord_.erase(word);
+    });
 }
 
 void

@@ -13,9 +13,8 @@
 #define TLSIM_TLS_VIOLATION_DETECTOR_HPP
 
 #include <cstdint>
-#include <unordered_map>
-#include <unordered_set>
 
+#include "common/flat_map.hpp"
 #include "common/small_vec.hpp"
 #include "common/types.hpp"
 
@@ -47,8 +46,7 @@ class ViolationDetector
      * Forget @p reader's records for the given words (squash requeue
      * or commit; the engine passes the task's read set).
      */
-    void dropReader(TaskId reader,
-                    const std::unordered_set<Addr> &words);
+    void dropReader(TaskId reader, const FlatSet<Addr> &words);
 
     std::uint64_t recordsLive() const { return records_; }
 
@@ -61,7 +59,7 @@ class ViolationDetector
     };
 
     /** Most words have 1-2 concurrent readers: keep them inline. */
-    std::unordered_map<Addr, SmallVec<ReadRecord, 2>> byWord_;
+    FlatMap<Addr, SmallVec<ReadRecord, 2>> byWord_;
     std::uint64_t records_ = 0;
 };
 

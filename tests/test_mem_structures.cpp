@@ -95,6 +95,64 @@ TEST(UndoLog, CommitFreesTheGroup)
     EXPECT_EQ(log.totalAppends(), 1u);
 }
 
+TEST(UndoLog, RecoveryDrainsOnlyTheSquashedTasksSlab)
+{
+    // A squash must replay exactly the squashed task's group; groups
+    // of other in-flight tasks stay untouched and the drained slab no
+    // longer reports entries.
+    UndoLog log;
+    log.append(5, UndoLogEntry{10, VersionTag{1, 1}, 0x1, 5});
+    log.append(6, UndoLogEntry{20, VersionTag{2, 1}, 0x2, 6});
+    log.append(5, UndoLogEntry{11, VersionTag{3, 1}, 0x4, 5});
+    log.append(7, UndoLogEntry{30, VersionTag{4, 1}, 0x8, 7});
+
+    std::vector<UndoLogEntry> scratch;
+    scratch.push_back(UndoLogEntry{99, VersionTag{9, 9}, 0xff, 9});
+    log.takeForRecovery(5, scratch); // overwrites, never appends
+    ASSERT_EQ(scratch.size(), 2u);
+    EXPECT_EQ(scratch[0].line, 11u); // reverse append order
+    EXPECT_EQ(scratch[1].line, 10u);
+
+    // Task 5's slab is drained...
+    EXPECT_EQ(log.countOf(5), 0u);
+    EXPECT_TRUE(log.entriesOf(5).empty());
+    // ...while the other tasks' groups are intact, entry for entry.
+    EXPECT_EQ(log.size(), 2u);
+    ASSERT_EQ(log.countOf(6), 1u);
+    ASSERT_EQ(log.countOf(7), 1u);
+    EXPECT_EQ(log.entriesOf(6)[0].line, 20u);
+    EXPECT_EQ(log.entriesOf(6)[0].oldVersion.producer, 2u);
+    EXPECT_EQ(log.entriesOf(7)[0].line, 30u);
+
+    // The by-value overload agrees with the in-place one.
+    auto six = log.takeForRecovery(6);
+    ASSERT_EQ(six.size(), 1u);
+    EXPECT_EQ(six[0].line, 20u);
+    EXPECT_EQ(log.size(), 1u);
+    EXPECT_EQ(log.countOf(7), 1u);
+}
+
+TEST(UndoLog, RecycledSlotStartsEmptyForTheNextTask)
+{
+    // Commit and recovery return slab slots to the free list; a task
+    // that later reuses the slot must not see stale entries.
+    UndoLog log;
+    log.append(5, UndoLogEntry{10, VersionTag{1, 1}, 0, 5});
+    log.append(5, UndoLogEntry{11, VersionTag{2, 1}, 0, 5});
+    log.dropTask(5);
+    log.append(8, UndoLogEntry{40, VersionTag{3, 1}, 0, 8});
+    EXPECT_EQ(log.countOf(8), 1u);
+    EXPECT_EQ(log.entriesOf(8)[0].line, 40u);
+    EXPECT_EQ(log.size(), 1u);
+
+    std::vector<UndoLogEntry> scratch;
+    log.takeForRecovery(8, scratch);
+    ASSERT_EQ(scratch.size(), 1u);
+    log.append(9, UndoLogEntry{50, VersionTag{4, 1}, 0, 9});
+    EXPECT_EQ(log.countOf(9), 1u);
+    EXPECT_EQ(log.entriesOf(9)[0].line, 50u);
+}
+
 TEST(MtidTable, DefaultIsArchitectural)
 {
     MtidTable t;

@@ -74,7 +74,9 @@ TEST(ViolationDetector, DropReaderForgetsRecords)
     d.noteRead(10, 7, 0);
     d.noteRead(11, 7, 0);
     d.noteRead(10, 8, 0);
-    std::unordered_set<Addr> words{10, 11};
+    FlatSet<Addr> words;
+    words.insert(10);
+    words.insert(11);
     d.dropReader(7, words);
     EXPECT_EQ(d.checkWrite(10, 5), 8u); // 8's record remains
     EXPECT_EQ(d.checkWrite(11, 5), kNoTask);
