@@ -9,8 +9,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 
 #include "common/task_pool.hpp"
+#include "common/trace.hpp"
 
 namespace tlsim::bench {
 
@@ -49,6 +51,98 @@ parseThreads(int argc, char **argv)
     }
     return 0;
 }
+
+/**
+ * RAII task-lifetime trace session for a figure driver
+ * (docs/TRACING.md). Flags / environment:
+ *
+ *   --trace=FILE / --trace FILE   write the binary trace to FILE
+ *   TLSIM_TRACE=FILE              same, via the environment
+ *   --trace-json=FILE             also write Perfetto trace_event JSON
+ *   --trace-mask=SPEC             categories to record (task, version,
+ *                                 undo, noc, audit, all)
+ *
+ * Recording starts in the constructor when any sink was requested and
+ * the sinks are written in the destructor, after the driver's sweeps
+ * finished. All session chatter goes to stderr so the figure tables
+ * on stdout stay byte-identical with and without tracing.
+ */
+class TraceSession
+{
+  public:
+    TraceSession(int argc, char **argv, std::uint32_t default_mask,
+                 std::size_t ring_capacity)
+    {
+        const char *bin = std::getenv("TLSIM_TRACE");
+        const char *mask_spec = nullptr;
+        for (int i = 1; i < argc; ++i) {
+            const char *arg = argv[i];
+            if (std::strcmp(arg, "--trace") == 0 && i + 1 < argc)
+                bin = argv[++i];
+            else if (std::strncmp(arg, "--trace=", 8) == 0)
+                bin = arg + 8;
+            else if (std::strncmp(arg, "--trace-json=", 13) == 0)
+                jsonPath_ = arg + 13;
+            else if (std::strncmp(arg, "--trace-mask=", 13) == 0)
+                mask_spec = arg + 13;
+        }
+        if (bin != nullptr && *bin != '\0')
+            binPath_ = bin;
+        if (binPath_.empty() && jsonPath_.empty())
+            return;
+        if (!trace::builtIn()) {
+            std::fprintf(stderr,
+                         "trace: requested but this build has "
+                         "TLSIM_TRACE=OFF; ignoring\n");
+            return;
+        }
+        trace::Options opts;
+        opts.mask = mask_spec != nullptr
+                        ? trace::parseMask(mask_spec, default_mask)
+                        : default_mask;
+        opts.ringCapacity = ring_capacity;
+        trace::start(opts);
+        active_ = true;
+    }
+
+    ~TraceSession()
+    {
+        if (!active_)
+            return;
+        trace::stop();
+        trace::TraceFile file = trace::drainFile();
+        std::string err;
+        if (!binPath_.empty()) {
+            if (trace::writeBinary(binPath_, file, &err))
+                std::fprintf(stderr,
+                             "trace: %zu records (%llu dropped) -> "
+                             "%s\n",
+                             file.records.size(),
+                             (unsigned long long)file.dropped,
+                             binPath_.c_str());
+            else
+                std::fprintf(stderr, "trace: %s\n", err.c_str());
+        }
+        if (!jsonPath_.empty()) {
+            if (trace::writeJson(jsonPath_, file, &err))
+                std::fprintf(stderr, "trace: Perfetto JSON -> %s\n",
+                             jsonPath_.c_str());
+            else
+                std::fprintf(stderr, "trace: %s\n", err.c_str());
+        }
+        trace::reset();
+    }
+
+    TraceSession(const TraceSession &) = delete;
+    TraceSession &operator=(const TraceSession &) = delete;
+
+    bool active() const { return active_; }
+
+  private:
+    std::string binPath_;
+    std::string jsonPath_;
+    bool active_ = false;
+};
 
 } // namespace tlsim::bench
 

@@ -18,6 +18,7 @@
 #include <cstdio>
 #include <string>
 
+#include "bench_common.hpp"
 #include "scripted_figure_workloads.hpp"
 #include "tls/engine.hpp"
 
@@ -47,8 +48,12 @@ drawTimeline(const tls::RunResult &res, Cycle scale)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    // Scripted four-task runs: small enough to trace every category,
+    // NoC included (--trace=FILE / --trace-json=FILE).
+    bench::TraceSession trace_session(argc, argv, trace::kMaskAll,
+                                      std::size_t(1) << 20);
     std::printf("Figure 5 — four tasks under SingleT (a), MultiT&SV "
                 "(b) and MultiT&MV (c)\n");
     std::printf("('=' executing, 'C' committing; T0/T2 on processor "

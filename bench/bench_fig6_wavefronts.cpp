@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <string>
 
+#include "bench_common.hpp"
 #include "scripted_figure_workloads.hpp"
 
 using namespace tlsim;
@@ -50,8 +51,11 @@ commitWavefrontSpan(const tls::RunResult &res)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    // Scripted wavefront runs: small enough to trace every category.
+    bench::TraceSession trace_session(argc, argv, trace::kMaskAll,
+                                      std::size_t(1) << 20);
     struct Config {
         const char *label;
         tls::Separation sep;

@@ -17,6 +17,10 @@ int
 main(int argc, char **argv)
 {
     unsigned threads = bench::parseThreads(argc, argv);
+    // Full sweeps emit millions of records; default to the audit
+    // categories (no NoC firehose) and size the rings accordingly.
+    bench::TraceSession trace_session(argc, argv, trace::kMaskAudit,
+                                      std::size_t(1) << 24);
     mem::MachineParams machine = mem::MachineParams::numa16();
     std::vector<tls::SchemeConfig> schemes = {
         {tls::Separation::SingleT, tls::Merging::EagerAMM, false},

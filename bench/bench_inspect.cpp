@@ -7,12 +7,18 @@
  *   scheme order: ST-E ST-L SV-E SV-L MV-E MV-L MV-FMM MV-FMM.Sw
  * With no arguments, prints a compact summary for every app under
  * MultiT&MV Eager on the NUMA machine.
+ *
+ * Trace self-check mode (docs/TRACING.md §Audit):
+ *   bench_inspect --audit TRACE.bin [TRACE2.bin ...]
+ * replays each binary trace against the cross-component invariants
+ * and exits non-zero if any trace fails.
  */
 
 #include <cstdio>
 #include <cstring>
 #include <string>
 
+#include "common/trace.hpp"
 #include "sim/study.hpp"
 
 using namespace tlsim;
@@ -61,11 +67,41 @@ dumpRun(const apps::AppParams &app, const tls::SchemeConfig &scheme,
     std::printf("\n");
 }
 
+int
+auditTraces(int argc, char **argv)
+{
+    if (argc < 3) {
+        std::fprintf(stderr,
+                     "usage: bench_inspect --audit TRACE.bin "
+                     "[TRACE2.bin ...]\n");
+        return 2;
+    }
+    int failures = 0;
+    for (int i = 2; i < argc; ++i) {
+        trace::TraceFile file;
+        std::string err;
+        if (!trace::readBinary(argv[i], &file, &err)) {
+            std::fprintf(stderr, "%s\n", err.c_str());
+            ++failures;
+            continue;
+        }
+        trace::AuditReport report = trace::audit(file);
+        std::printf("%s: %s\n", argv[i],
+                    report.summary().c_str());
+        if (!report.ok())
+            ++failures;
+    }
+    return failures == 0 ? 0 : 1;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
+    if (argc > 1 && std::strcmp(argv[1], "--audit") == 0)
+        return auditTraces(argc, argv);
+
     auto schemes = tls::SchemeConfig::evaluatedSchemes();
 
     if (argc == 1) {

@@ -60,6 +60,14 @@ class EventQueue
     Cycle now() const { return now_; }
 
     /**
+     * Stable pointer to the simulated clock, for consumers that need
+     * to read the time without holding the queue (the tracer binds
+     * this for the owning engine's lifetime). Valid as long as this
+     * queue is alive.
+     */
+    const Cycle *nowPtr() const { return &now_; }
+
+    /**
      * Schedule @p fn to run at absolute cycle @p when.
      *
      * @pre when >= now(); enforced — scheduling into the past panics

@@ -1,0 +1,898 @@
+/**
+ * @file
+ * Tracer runtime, sinks and trace-replay audit. The record schema and
+ * binary format implemented here are specified in docs/TRACING.md.
+ */
+
+#include "common/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+
+namespace tlsim::trace {
+
+// --------------------------------------------------------------------
+// Names and labels
+// --------------------------------------------------------------------
+
+namespace {
+
+constexpr const char *kKindNames[kNumKinds] = {
+    "task_spawn",    "task_restart",     "task_finish",
+    "token_handoff", "task_commit",      "task_squash",
+    "version_create", "version_remove",  "version_merge",
+    "version_overflow", "undo_append",   "undo_drop",
+    "undo_recover",  "noc_send",         "noc_deliver",
+};
+
+} // namespace
+
+const char *
+kindName(Kind k)
+{
+    auto i = unsigned(k);
+    return i < kNumKinds ? kKindNames[i] : "unknown";
+}
+
+std::uint32_t
+parseMask(std::string_view spec, std::uint32_t fallback)
+{
+    std::uint32_t mask = 0;
+    bool any = false;
+    std::size_t pos = 0;
+    while (pos <= spec.size()) {
+        std::size_t end = spec.find_first_of(",+", pos);
+        if (end == std::string_view::npos)
+            end = spec.size();
+        std::string_view tok = spec.substr(pos, end - pos);
+        pos = end + 1;
+        if (tok.empty())
+            continue;
+        std::uint32_t bit = 0;
+        if (tok == "task")
+            bit = kMaskTask;
+        else if (tok == "version")
+            bit = kMaskVersion;
+        else if (tok == "undo")
+            bit = kMaskUndo;
+        else if (tok == "noc")
+            bit = kMaskNoc;
+        else if (tok == "audit")
+            bit = kMaskAudit;
+        else if (tok == "all")
+            bit = kMaskAll;
+        else
+            continue; // unknown token: ignored by contract
+        mask |= bit;
+        any = true;
+        if (end == spec.size())
+            break;
+    }
+    return any ? mask : fallback;
+}
+
+std::string
+schemeLabel(std::uint8_t s)
+{
+    if (s == kSchemeSequential)
+        return "sequential";
+    if (s == kSchemeUnknown)
+        return "unknown";
+    static constexpr const char *kSep[3] = {"SingleT", "MultiT&SV",
+                                            "MultiT&MV"};
+    static constexpr const char *kMer[3] = {"Eager", "Lazy", "FMM"};
+    unsigned point = s & 0x0F;
+    if (point > 8)
+        return "invalid";
+    std::string label = kSep[point / 3];
+    label += '/';
+    label += kMer[point % 3];
+    if (s & 0x10)
+        label += ".Sw";
+    return label;
+}
+
+// --------------------------------------------------------------------
+// Runtime: per-thread rings behind a registry
+// --------------------------------------------------------------------
+
+namespace detail {
+std::atomic<bool> g_on{false};
+} // namespace detail
+
+namespace {
+
+/**
+ * One thread's record buffer. Capacity-bounded; when full, the oldest
+ * records are overwritten (and counted) so a runaway trace degrades
+ * instead of exhausting memory. Storage grows on demand via push_back,
+ * so a mostly idle thread commits almost no memory.
+ */
+struct Ring {
+    std::vector<Record> buf;
+    std::size_t cap = 0;
+    std::uint64_t written = 0; ///< total records ever pushed
+
+    void
+    push(const Record &r)
+    {
+        if (buf.size() < cap)
+            buf.push_back(r);
+        else
+            buf[std::size_t(written % cap)] = r;
+        ++written;
+    }
+
+    std::uint64_t
+    dropped() const
+    {
+        return written > cap ? written - cap : 0;
+    }
+
+    /** Append surviving records in emission order. */
+    void
+    collect(std::vector<Record> &out) const
+    {
+        if (written <= cap) {
+            out.insert(out.end(), buf.begin(), buf.end());
+            return;
+        }
+        std::size_t head = std::size_t(written % cap);
+        out.insert(out.end(), buf.begin() + std::ptrdiff_t(head),
+                   buf.end());
+        out.insert(out.end(), buf.begin(),
+                   buf.begin() + std::ptrdiff_t(head));
+    }
+};
+
+struct Registry {
+    std::mutex mu;
+    std::vector<std::unique_ptr<Ring>> rings;
+    Options opts;
+};
+
+Registry &
+registry()
+{
+    static Registry r;
+    return r;
+}
+
+// Session epoch: bumped by start()/reset() so threads whose cached
+// ring pointer belongs to a cleared session re-register instead of
+// writing through a dangling pointer.
+std::atomic<std::uint64_t> g_session{0};
+std::atomic<std::uint32_t> g_mask{kMaskAll};
+std::atomic<unsigned> g_sweepOrdinal{0};
+
+struct ThreadCtx {
+    const Cycle *clock = nullptr;
+    std::uint32_t stream = 0;
+    std::uint8_t scheme = kSchemeUnknown;
+    std::uint8_t rep = 0;
+    Ring *ring = nullptr;
+    std::uint64_t session = 0;
+};
+
+thread_local ThreadCtx t_ctx;
+
+Ring *
+acquireRing()
+{
+    std::uint64_t session = g_session.load(std::memory_order_acquire);
+    if (t_ctx.ring != nullptr && t_ctx.session == session)
+        return t_ctx.ring;
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    // Re-read under the lock: start()/reset() mutate under it.
+    session = g_session.load(std::memory_order_relaxed);
+    reg.rings.push_back(std::make_unique<Ring>());
+    Ring *ring = reg.rings.back().get();
+    ring->cap = reg.opts.ringCapacity > 0 ? reg.opts.ringCapacity : 1;
+    ring->buf.reserve(std::min<std::size_t>(ring->cap, 4096));
+    t_ctx.ring = ring;
+    t_ctx.session = session;
+    return ring;
+}
+
+/** Canonical group key: ascending (stream, scheme, rep). */
+std::uint64_t
+groupKey(const Record &r)
+{
+    return (std::uint64_t(r.stream) << 16) |
+           (std::uint64_t(r.scheme) << 8) | std::uint64_t(r.rep);
+}
+
+} // namespace
+
+void
+start(const Options &opts)
+{
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    reg.rings.clear();
+    reg.opts = opts;
+    g_mask.store(opts.mask, std::memory_order_relaxed);
+    g_sweepOrdinal.store(0, std::memory_order_relaxed);
+    g_session.fetch_add(1, std::memory_order_release);
+    detail::g_on.store(true, std::memory_order_release);
+}
+
+void
+stop()
+{
+    detail::g_on.store(false, std::memory_order_release);
+}
+
+std::uint32_t
+sessionMask()
+{
+    return g_mask.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+droppedRecords()
+{
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    std::uint64_t dropped = 0;
+    for (const auto &ring : reg.rings)
+        dropped += ring->dropped();
+    return dropped;
+}
+
+std::vector<Record>
+drain()
+{
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    // Group by (stream, scheme, rep); emission order within a group.
+    // A sweep point runs wholly on one pool thread, so a group lives
+    // in exactly one ring and its internal order is deterministic; the
+    // group sort removes any dependence on thread registration order.
+    std::map<std::uint64_t, std::vector<Record>> groups;
+    std::vector<Record> scratch;
+    for (const auto &ring : reg.rings) {
+        scratch.clear();
+        ring->collect(scratch);
+        for (const Record &r : scratch)
+            groups[groupKey(r)].push_back(r);
+    }
+    std::vector<Record> out;
+    std::size_t total = 0;
+    for (const auto &[key, records] : groups)
+        total += records.size();
+    out.reserve(total);
+    for (auto &[key, records] : groups)
+        out.insert(out.end(), records.begin(), records.end());
+    return out;
+}
+
+void
+reset()
+{
+    detail::g_on.store(false, std::memory_order_release);
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    reg.rings.clear();
+    g_sweepOrdinal.store(0, std::memory_order_relaxed);
+    g_session.fetch_add(1, std::memory_order_release);
+}
+
+unsigned
+nextSweepOrdinal()
+{
+    return g_sweepOrdinal.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+bindClock(const Cycle *clock)
+{
+    t_ctx.clock = clock;
+}
+
+void
+setScheme(std::uint8_t scheme)
+{
+    t_ctx.scheme = scheme;
+}
+
+std::uint32_t
+streamId(std::string_view app, std::string_view machine,
+         unsigned sweep_ordinal)
+{
+    // FNV-1a over "app \0 machine \0 ordinal", folded to 32 bits.
+    std::uint64_t h = 1469598103934665603ull;
+    auto mix = [&h](unsigned char c) {
+        h ^= c;
+        h *= 1099511628211ull;
+    };
+    for (char c : app)
+        mix(static_cast<unsigned char>(c));
+    mix(0);
+    for (char c : machine)
+        mix(static_cast<unsigned char>(c));
+    mix(0);
+    for (unsigned shift = 0; shift < 32; shift += 8)
+        mix(static_cast<unsigned char>(sweep_ordinal >> shift));
+    return std::uint32_t(h ^ (h >> 32));
+}
+
+ScopedPoint::ScopedPoint(std::uint32_t stream, std::uint8_t rep)
+    : prevStream_(t_ctx.stream), prevRep_(t_ctx.rep)
+{
+    t_ctx.stream = stream;
+    t_ctx.rep = rep;
+}
+
+ScopedPoint::~ScopedPoint()
+{
+    t_ctx.stream = prevStream_;
+    t_ctx.rep = prevRep_;
+}
+
+void
+emitAt(Cycle cycle, Kind k, unsigned proc, std::uint64_t task,
+       std::uint64_t addr, std::uint64_t arg)
+{
+    if (!enabled())
+        return;
+    if (!(g_mask.load(std::memory_order_relaxed) & kindBit(k)))
+        return;
+    Ring *ring = acquireRing();
+    Record r;
+    r.cycle = cycle;
+    r.addr = addr;
+    r.task = std::uint32_t(task);
+    r.arg = std::uint32_t(arg);
+    r.stream = t_ctx.stream;
+    r.kind = std::uint8_t(k);
+    r.scheme = t_ctx.scheme;
+    r.rep = t_ctx.rep;
+    r.proc = proc > 0xFE ? std::uint8_t(0xFF) : std::uint8_t(proc);
+    ring->push(r);
+}
+
+void
+emit(Kind k, unsigned proc, std::uint64_t task, std::uint64_t addr,
+     std::uint64_t arg)
+{
+    emitAt(t_ctx.clock != nullptr ? *t_ctx.clock : Cycle(0), k, proc,
+           task, addr, arg);
+}
+
+// --------------------------------------------------------------------
+// Binary sink (format: docs/TRACING.md §Binary format)
+// --------------------------------------------------------------------
+
+namespace {
+
+constexpr char kMagic[8] = {'T', 'L', 'T', 'R', 'A', 'C', 'E', '1'};
+constexpr std::uint32_t kFormatVersion = 1;
+
+struct BinaryHeader {
+    char magic[8];
+    std::uint32_t version;
+    std::uint32_t recordSize;
+    std::uint64_t count;
+    std::uint32_t mask;
+    std::uint32_t reserved0;
+    std::uint64_t dropped;
+    std::uint64_t reserved1;
+};
+static_assert(sizeof(BinaryHeader) == 48, "header layout is part of "
+                                          "the binary format");
+
+struct FileCloser {
+    void
+    operator()(std::FILE *f) const
+    {
+        if (f != nullptr)
+            std::fclose(f);
+    }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+bool
+fail(std::string *err, const std::string &message)
+{
+    if (err != nullptr)
+        *err = message;
+    return false;
+}
+
+} // namespace
+
+TraceFile
+drainFile()
+{
+    TraceFile file;
+    file.mask = sessionMask();
+    file.dropped = droppedRecords();
+    file.records = drain();
+    return file;
+}
+
+bool
+writeBinary(const std::string &path, const TraceFile &file,
+            std::string *err)
+{
+    FilePtr f(std::fopen(path.c_str(), "wb"));
+    if (!f)
+        return fail(err, "cannot open " + path + " for writing");
+    BinaryHeader h{};
+    std::memcpy(h.magic, kMagic, sizeof(kMagic));
+    h.version = kFormatVersion;
+    h.recordSize = std::uint32_t(sizeof(Record));
+    h.count = file.records.size();
+    h.mask = file.mask;
+    h.reserved0 = 0;
+    h.dropped = file.dropped;
+    h.reserved1 = 0;
+    if (std::fwrite(&h, sizeof(h), 1, f.get()) != 1)
+        return fail(err, "short write of header to " + path);
+    if (!file.records.empty() &&
+        std::fwrite(file.records.data(), sizeof(Record),
+                    file.records.size(),
+                    f.get()) != file.records.size())
+        return fail(err, "short write of records to " + path);
+    return true;
+}
+
+bool
+readBinary(const std::string &path, TraceFile *out, std::string *err)
+{
+    FilePtr f(std::fopen(path.c_str(), "rb"));
+    if (!f)
+        return fail(err, "cannot open " + path);
+    BinaryHeader h{};
+    if (std::fread(&h, sizeof(h), 1, f.get()) != 1)
+        return fail(err, path + ": short read of header");
+    if (std::memcmp(h.magic, kMagic, sizeof(kMagic)) != 0)
+        return fail(err, path + ": not a tlsim trace (bad magic)");
+    if (h.version != kFormatVersion)
+        return fail(err, path + ": unsupported trace version " +
+                             std::to_string(h.version));
+    if (h.recordSize != sizeof(Record))
+        return fail(err, path + ": record size " +
+                             std::to_string(h.recordSize) +
+                             " does not match this build's " +
+                             std::to_string(sizeof(Record)));
+    out->mask = h.mask;
+    out->dropped = h.dropped;
+    out->records.assign(std::size_t(h.count), Record{});
+    if (h.count != 0 &&
+        std::fread(out->records.data(), sizeof(Record),
+                   std::size_t(h.count),
+                   f.get()) != std::size_t(h.count))
+        return fail(err, path + ": truncated record payload");
+    return true;
+}
+
+// --------------------------------------------------------------------
+// Perfetto / Chrome trace_event JSON sink
+// --------------------------------------------------------------------
+
+namespace {
+
+void
+jsonEscape(std::string &out, std::string_view s)
+{
+    for (char c : s) {
+        if (c == '"' || c == '\\') {
+            out += '\\';
+            out += c;
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", unsigned(c));
+            out += buf;
+        } else {
+            out += c;
+        }
+    }
+}
+
+std::string
+groupLabel(const Record &r)
+{
+    std::ostringstream label;
+    label << "stream 0x" << std::hex << r.stream << std::dec << " "
+          << schemeLabel(r.scheme) << " rep " << unsigned(r.rep);
+    return label.str();
+}
+
+} // namespace
+
+bool
+writeJson(const std::string &path, const TraceFile &file,
+          std::string *err)
+{
+    FilePtr f(std::fopen(path.c_str(), "wb"));
+    if (!f)
+        return fail(err, "cannot open " + path + " for writing");
+
+    // One Perfetto "process" per (stream, scheme, rep) group, one
+    // "thread" per simulated processor. Cycles map 1:1 to trace
+    // microseconds. Task execution (spawn/restart -> finish/squash)
+    // becomes a duration slice via B/E events; everything else is an
+    // instant so no pairing state is needed across records.
+    std::string out;
+    out.reserve(file.records.size() * 96 + 4096);
+    out += "{\"traceEvents\":[\n";
+    std::set<std::uint64_t> named;
+    bool first = true;
+    for (const Record &r : file.records) {
+        std::uint64_t key = groupKey(r);
+        std::uint32_t pid = std::uint32_t(key & 0xffffffffu);
+        unsigned tid = r.proc == 0xFF ? 255u : unsigned(r.proc);
+        if (named.insert(key).second) {
+            if (!first)
+                out += ",\n";
+            first = false;
+            out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":";
+            out += std::to_string(pid);
+            out += ",\"args\":{\"name\":\"";
+            jsonEscape(out, groupLabel(r));
+            out += "\"}}";
+        }
+        if (!first)
+            out += ",\n";
+        first = false;
+        Kind k = Kind(r.kind);
+        const char *ph = "i";
+        switch (k) {
+        case Kind::TaskSpawn:
+        case Kind::TaskRestart:
+            ph = "B";
+            break;
+        case Kind::TaskFinish:
+        case Kind::TaskSquash:
+            ph = "E";
+            break;
+        default:
+            break;
+        }
+        out += "{\"name\":\"";
+        if (ph[0] == 'B') {
+            out += "task ";
+            out += std::to_string(r.task);
+            out += " #";
+            out += std::to_string(r.arg);
+        } else {
+            jsonEscape(out, kindName(k));
+        }
+        out += "\",\"ph\":\"";
+        out += ph;
+        out += "\",\"ts\":";
+        out += std::to_string(r.cycle);
+        out += ",\"pid\":";
+        out += std::to_string(pid);
+        out += ",\"tid\":";
+        out += std::to_string(tid);
+        if (ph[0] == 'i')
+            out += ",\"s\":\"t\"";
+        out += ",\"args\":{\"kind\":\"";
+        out += kindName(k);
+        out += "\",\"task\":";
+        out += std::to_string(r.task);
+        out += ",\"arg\":";
+        out += std::to_string(r.arg);
+        out += ",\"addr\":\"0x";
+        char hexbuf[24];
+        std::snprintf(hexbuf, sizeof(hexbuf), "%llx",
+                      static_cast<unsigned long long>(r.addr));
+        out += hexbuf;
+        out += "\"}}";
+    }
+    out += "\n],\"displayTimeUnit\":\"ns\"}\n";
+    if (std::fwrite(out.data(), 1, out.size(), f.get()) != out.size())
+        return fail(err, "short write to " + path);
+    return true;
+}
+
+// --------------------------------------------------------------------
+// Audit: replay a trace against the cross-component invariants
+// --------------------------------------------------------------------
+
+namespace {
+
+/** Per-(stream, scheme, rep) replay state. */
+struct StreamState {
+    std::string label;
+    bool sequential = false;
+    Cycle lastCycle = 0;
+    std::uint32_t lastToken = 0;
+    std::uint32_t lastCommit = 0;
+    bool sawToken = false;
+    /** task -> incarnation currently executing (or last dispatched). */
+    std::unordered_map<std::uint32_t, std::uint32_t> incarnation;
+    /** live speculative versions: (task, incarnation, line). */
+    std::set<std::tuple<std::uint32_t, std::uint32_t, std::uint64_t>>
+        live;
+    /** squashed (task, incarnation) pairs. */
+    std::set<std::pair<std::uint32_t, std::uint32_t>> squashed;
+    /** task -> undo-log entries appended and not yet dropped/drained. */
+    std::unordered_map<std::uint32_t, std::uint64_t> undoPending;
+};
+
+constexpr std::size_t kMaxIssues = 64;
+
+struct Auditor {
+    AuditReport &report;
+    bool haveTask, haveVersion, haveUndo;
+
+    void
+    issue(const StreamState &s, const Record &r, std::string what)
+    {
+        if (report.issues.size() >= kMaxIssues)
+            return;
+        std::ostringstream msg;
+        msg << "[" << s.label << "] cycle " << r.cycle << " "
+            << kindName(Kind(r.kind)) << " task " << r.task << ": "
+            << what;
+        report.issues.push_back(msg.str());
+    }
+
+    void
+    check(bool ok, const StreamState &s, const Record &r,
+          const std::string &what)
+    {
+        ++report.checks;
+        if (!ok)
+            issue(s, r, what);
+    }
+
+    void
+    replay(StreamState &s, const Record &r)
+    {
+        Kind k = Kind(r.kind);
+        // NoC records carry future delivery timestamps, so only the
+        // simulation-driven kinds participate in the monotonic-clock
+        // check.
+        if (k != Kind::NocSend && k != Kind::NocDeliver) {
+            check(r.cycle >= s.lastCycle, s, r,
+                  "simulated clock ran backwards within the stream");
+            s.lastCycle = r.cycle;
+        }
+        switch (k) {
+        case Kind::TaskSpawn:
+            check(s.incarnation.find(r.task) == s.incarnation.end(), s,
+                  r, "task spawned twice");
+            check(r.arg == 1, s, r,
+                  "first dispatch must be incarnation 1, got " +
+                      std::to_string(r.arg));
+            s.incarnation[r.task] = r.arg;
+            break;
+        case Kind::TaskRestart: {
+            auto it = s.incarnation.find(r.task);
+            check(it != s.incarnation.end(), s, r,
+                  "restart of a task that never spawned");
+            if (it != s.incarnation.end()) {
+                check(r.arg == it->second + 1, s, r,
+                      "incarnation skipped (restart to #" +
+                          std::to_string(r.arg) + " from #" +
+                          std::to_string(it->second) + ")");
+                check(s.squashed.count({r.task, it->second}) != 0, s,
+                      r, "restart without a preceding squash");
+                it->second = r.arg;
+            }
+            if (haveUndo)
+                check(s.undoPending[r.task] == 0, s, r,
+                      "restarted before its undo-log entries were "
+                      "drained (" +
+                          std::to_string(s.undoPending[r.task]) +
+                          " pending)");
+            break;
+        }
+        case Kind::TaskFinish:
+            check(s.incarnation.find(r.task) != s.incarnation.end(), s,
+                  r, "finish of a task that never dispatched");
+            break;
+        case Kind::TokenHandoff:
+            check(!s.sequential, s, r,
+                  "commit token in a sequential stream");
+            check(r.task == s.lastToken + 1, s, r,
+                  "commit token out of order (expected task " +
+                      std::to_string(s.lastToken + 1) + ")");
+            s.lastToken = r.task;
+            s.sawToken = true;
+            break;
+        case Kind::TaskCommit:
+            check(r.task == s.lastCommit + 1, s, r,
+                  "commit order violation (expected task " +
+                      std::to_string(s.lastCommit + 1) + ")");
+            if (!s.sequential && s.sawToken)
+                check(r.task == s.lastToken, s, r,
+                      "commit does not match the token holder (task " +
+                          std::to_string(s.lastToken) + ")");
+            check(s.squashed.count(
+                      {r.task, s.incarnation.count(r.task)
+                                   ? s.incarnation[r.task]
+                                   : 0}) == 0,
+                  s, r, "commit of a squashed incarnation");
+            s.lastCommit = r.task;
+            break;
+        case Kind::TaskSquash: {
+            auto it = s.incarnation.find(r.task);
+            if (it != s.incarnation.end())
+                check(r.arg == it->second, s, r,
+                      "squash of a stale incarnation (#" +
+                          std::to_string(r.arg) + ", current #" +
+                          std::to_string(it->second) + ")");
+            s.squashed.insert({r.task, r.arg});
+            break;
+        }
+        case Kind::VersionCreate:
+            check(s.squashed.count({r.task, r.arg}) == 0, s, r,
+                  "version created for an already-squashed "
+                  "incarnation");
+            check(s.live.insert({r.task, r.arg, r.addr}).second, s, r,
+                  "duplicate version for the same (task, "
+                  "incarnation, line)");
+            break;
+        case Kind::VersionRemove:
+            check(s.live.erase({r.task, r.arg, r.addr}) == 1, s, r,
+                  "remove of an untracked version");
+            break;
+        case Kind::VersionMerge:
+            check(s.squashed.count({r.task, r.arg}) == 0, s, r,
+                  "version of a squashed incarnation merged to "
+                  "memory (survived its squash)");
+            if (r.task != 0)
+                check(s.live.count({r.task, r.arg, r.addr}) != 0, s, r,
+                      "merge of an untracked version");
+            break;
+        case Kind::VersionOverflow:
+            check(s.squashed.count({r.task, r.arg}) == 0, s, r,
+                  "squashed version spilled to the overflow area");
+            check(s.live.count({r.task, r.arg, r.addr}) != 0, s, r,
+                  "overflow of an untracked version");
+            break;
+        case Kind::UndoAppend:
+            s.undoPending[r.task] += 1;
+            ++report.checks;
+            break;
+        case Kind::UndoDrop:
+        case Kind::UndoRecover: {
+            std::uint64_t pending = s.undoPending[r.task];
+            check(r.arg == pending, s, r,
+                  std::string(k == Kind::UndoDrop ? "drop"
+                                                  : "recovery") +
+                      " of " + std::to_string(r.arg) +
+                      " undo entries but " + std::to_string(pending) +
+                      " were appended");
+            s.undoPending[r.task] = 0;
+            break;
+        }
+        case Kind::NocSend:
+        case Kind::NocDeliver:
+            ++report.checks;
+            break;
+        }
+    }
+
+    void
+    finish(StreamState &s)
+    {
+        if (haveVersion && haveTask) {
+            for (const auto &[task, inc, line] : s.live) {
+                ++report.checks;
+                if (s.squashed.count({task, inc}) != 0 &&
+                    report.issues.size() < kMaxIssues) {
+                    std::ostringstream msg;
+                    msg << "[" << s.label << "] version of task "
+                        << task << " #" << inc << " line 0x"
+                        << std::hex << line << std::dec
+                        << " survived its task's squash";
+                    report.issues.push_back(msg.str());
+                }
+            }
+        }
+        if (haveUndo && haveTask) {
+            for (const auto &[task, pending] : s.undoPending) {
+                ++report.checks;
+                if (pending != 0 &&
+                    report.issues.size() < kMaxIssues) {
+                    std::ostringstream msg;
+                    msg << "[" << s.label << "] task " << task << ": "
+                        << pending
+                        << " undo-log entries never drained";
+                    report.issues.push_back(msg.str());
+                }
+            }
+        }
+    }
+};
+
+} // namespace
+
+AuditReport
+audit(const TraceFile &file)
+{
+    AuditReport report;
+    report.records = file.records.size();
+    if (file.dropped != 0) {
+        report.issues.push_back(
+            "trace is truncated: " + std::to_string(file.dropped) +
+            " records were dropped by ring wrap-around — enlarge "
+            "Options::ringCapacity and re-record");
+        return report;
+    }
+    bool haveTask = (file.mask & kMaskTask) == kMaskTask;
+    bool haveVersion = (file.mask & kMaskVersion) == kMaskVersion;
+    bool haveUndo = (file.mask & kMaskUndo) == kMaskUndo;
+    Auditor auditor{report, haveTask, haveVersion, haveUndo};
+
+    std::map<std::uint64_t, StreamState> streams;
+    for (const Record &r : file.records) {
+        if (unsigned(r.kind) >= kNumKinds) {
+            if (report.issues.size() < kMaxIssues)
+                report.issues.push_back(
+                    "unknown record kind " +
+                    std::to_string(unsigned(r.kind)));
+            continue;
+        }
+        auto [it, inserted] = streams.try_emplace(groupKey(r));
+        StreamState &s = it->second;
+        if (inserted) {
+            s.label = groupLabel(r);
+            s.sequential = r.scheme == kSchemeSequential;
+        }
+        Kind k = Kind(r.kind);
+        // Checks that correlate categories only run when every
+        // category they read is present in the recording mask.
+        bool gated = false;
+        switch (k) {
+        case Kind::TaskSpawn:
+        case Kind::TaskRestart:
+        case Kind::TaskFinish:
+        case Kind::TokenHandoff:
+        case Kind::TaskCommit:
+        case Kind::TaskSquash:
+            gated = haveTask;
+            break;
+        case Kind::VersionCreate:
+        case Kind::VersionRemove:
+        case Kind::VersionMerge:
+        case Kind::VersionOverflow:
+            gated = haveVersion && haveTask;
+            break;
+        case Kind::UndoAppend:
+        case Kind::UndoDrop:
+        case Kind::UndoRecover:
+            gated = haveUndo;
+            break;
+        case Kind::NocSend:
+        case Kind::NocDeliver:
+            gated = true;
+            break;
+        }
+        if (gated)
+            auditor.replay(s, r);
+    }
+    for (auto &[key, s] : streams)
+        auditor.finish(s);
+    report.streams = streams.size();
+    return report;
+}
+
+std::string
+AuditReport::summary() const
+{
+    std::ostringstream out;
+    out << "audit: " << records << " records, " << streams
+        << " streams, " << checks << " checks, " << issues.size()
+        << " issue(s)";
+    for (const std::string &issue : issues)
+        out << "\n  " << issue;
+    return out.str();
+}
+
+} // namespace tlsim::trace

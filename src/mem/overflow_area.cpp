@@ -1,5 +1,7 @@
 #include "mem/overflow_area.hpp"
 
+#include "common/trace.hpp"
+
 namespace tlsim::mem {
 
 void
@@ -7,10 +9,13 @@ OverflowArea::put(Addr line, VersionTag version, std::uint8_t write_mask)
 {
     Key key{line, version.producer, version.incarnation};
     auto [mask, inserted] = entries_.emplace(key, write_mask);
-    if (!inserted)
+    if (!inserted) {
         *mask |= write_mask;
-    else
+    } else {
         ++spills_;
+        TLSIM_TRACE_EVENT(trace::Kind::VersionOverflow, ~0u,
+                          version.producer, line, version.incarnation);
+    }
     if (entries_.size() > peak_)
         peak_ = entries_.size();
 }

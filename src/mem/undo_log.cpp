@@ -1,5 +1,7 @@
 #include "mem/undo_log.hpp"
 
+#include "common/trace.hpp"
+
 namespace tlsim::mem {
 
 std::vector<UndoLogEntry> &
@@ -22,6 +24,8 @@ void
 UndoLog::append(TaskId overwriting, const UndoLogEntry &entry)
 {
     groupOf(overwriting).push_back(entry);
+    TLSIM_TRACE_EVENT(trace::Kind::UndoAppend, ~0u, overwriting,
+                      entry.line, entry.oldVersion.producer);
     ++liveEntries_;
     ++appends_;
     if (liveEntries_ > peak_)
@@ -50,6 +54,8 @@ UndoLog::dropTask(TaskId task)
     if (!slot)
         return;
     std::vector<UndoLogEntry> &slab = slabs_[*slot];
+    TLSIM_TRACE_EVENT(trace::Kind::UndoDrop, ~0u, task, 0,
+                      slab.size());
     liveEntries_ -= slab.size();
     slab.clear(); // capacity kept for the slot's next owner
     freeSlots_.push_back(*slot);
@@ -64,6 +70,8 @@ UndoLog::takeForRecovery(TaskId task, std::vector<UndoLogEntry> &out)
     if (!slot)
         return;
     std::vector<UndoLogEntry> &slab = slabs_[*slot];
+    TLSIM_TRACE_EVENT(trace::Kind::UndoRecover, ~0u, task, 0,
+                      slab.size());
     liveEntries_ -= slab.size();
     out.reserve(slab.size());
     for (auto it = slab.rbegin(); it != slab.rend(); ++it)

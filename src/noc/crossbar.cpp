@@ -1,6 +1,7 @@
 #include "noc/crossbar.hpp"
 
 #include "common/log.hpp"
+#include "common/trace.hpp"
 
 namespace tlsim::noc {
 
@@ -16,7 +17,13 @@ Crossbar::traverse(Cycle when, NodeId src, NodeId dst, MsgClass cls)
     ++messages_;
     if (src == dst)
         return 0;
-    return ports_[dst].acquire(when, msgOccupancy(cls));
+    TLSIM_TRACE_EVENT_AT(when, trace::Kind::NocSend, src,
+                         unsigned(cls), dst, 1);
+    Cycle delay = ports_[dst].acquire(when, msgOccupancy(cls));
+    TLSIM_TRACE_EVENT_AT(when + delay + msgOccupancy(cls),
+                         trace::Kind::NocDeliver, src, unsigned(cls),
+                         dst, delay);
+    return delay;
 }
 
 void

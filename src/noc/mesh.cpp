@@ -3,6 +3,7 @@
 #include <cstdlib>
 
 #include "common/log.hpp"
+#include "common/trace.hpp"
 
 namespace tlsim::noc {
 
@@ -47,6 +48,8 @@ Mesh2D::traverse(Cycle when, NodeId src, NodeId dst, MsgClass cls)
     if (src == dst)
         return 0;
 
+    TLSIM_TRACE_EVENT_AT(when, trace::Kind::NocSend, src,
+                         unsigned(cls), dst, hops(src, dst));
     const Cycle occ = msgOccupancy(cls);
     Cycle t = when;
     Cycle delay = 0;
@@ -67,6 +70,8 @@ Mesh2D::traverse(Cycle when, NodeId src, NodeId dst, MsgClass cls)
         t += d + occ;
         cur = dir == kSouth ? cur + cols_ : cur - cols_;
     }
+    TLSIM_TRACE_EVENT_AT(t, trace::Kind::NocDeliver, src,
+                         unsigned(cls), dst, delay);
     return delay;
 }
 

@@ -2,10 +2,13 @@
 
 #include <sstream>
 
+#include <atomic>
+
 #include "common/log.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
 #include "common/task_pool.hpp"
+#include "common/trace.hpp"
 
 namespace tlsim::sim {
 
@@ -115,6 +118,13 @@ runStudySweep(const std::vector<apps::AppParams> &apps,
     const std::size_t n_apps = apps.size();
     const std::size_t n_schemes = schemes.size();
 
+    // Trace-stream identity of every point in this sweep. The ordinal
+    // distinguishes repeated sweeps over the same (app, machine) pair
+    // within one process (bench_fig10 runs two); it is claimed on the
+    // submitting thread, so it is deterministic for a fixed call
+    // sequence regardless of the pool's thread count.
+    const unsigned sweep_ordinal = trace::nextSweepOrdinal();
+
     // One result slot per job; jobs write only their own slot, and
     // aggregation below reads slots in fixed sweep order, so output is
     // independent of scheduling.
@@ -124,12 +134,22 @@ runStudySweep(const std::vector<apps::AppParams> &apps,
     TaskPool pool(threads);
     for (std::size_t a = 0; a < n_apps; ++a) {
         pool.submit([&, a] {
+            // Each job declares the (stream, rep) its records belong
+            // to; the scheme byte is declared by the engine itself.
+            trace::ScopedPoint point(
+                trace::streamId(apps[a].name, machine.name,
+                                sweep_ordinal),
+                0);
             seq_times[a] = runSequential(apps[a], machine).execTime;
         });
         for (std::size_t s = 0; s < n_schemes; ++s) {
             for (unsigned rep = 0; rep < reps; ++rep) {
                 std::size_t slot = (a * n_schemes + s) * reps + rep;
                 pool.submit([&, a, s, rep, slot] {
+                    trace::ScopedPoint point(
+                        trace::streamId(apps[a].name, machine.name,
+                                        sweep_ordinal),
+                        std::uint8_t(rep));
                     runs[slot] =
                         runReplication(apps[a], schemes[s], machine, rep);
                 });

@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "common/log.hpp"
+#include "common/trace.hpp"
 #include "mem/geometry.hpp"
 #include "noc/crossbar.hpp"
 #include "noc/mesh.hpp"
@@ -26,6 +27,26 @@ meshRows(unsigned n)
     while (r * r < n)
         ++r;
     return r;
+}
+
+/**
+ * Declare this engine's simulated clock and scheme byte as the
+ * ambient trace context of the calling thread. Re-asserted at run()
+ * so interleaved construction of several engines on one thread (A/B
+ * drivers) still stamps records correctly.
+ */
+void
+bindTraceContext(const EngineConfig &cfg, const EventQueue &eq)
+{
+    if constexpr (trace::builtIn()) {
+        trace::bindClock(eq.nowPtr());
+        trace::setScheme(
+            cfg.sequential
+                ? trace::kSchemeSequential
+                : trace::packScheme(unsigned(cfg.scheme.separation),
+                                    unsigned(cfg.scheme.merging),
+                                    cfg.scheme.softwareLog));
+    }
 }
 
 } // namespace
@@ -131,9 +152,17 @@ SpeculationEngine::SpeculationEngine(const EngineConfig &cfg,
     sid_.tasksSquashed = counters_.intern("tasks_squashed");
     sid_.recoveryEntriesReplayed =
         counters_.intern("recovery_entries_replayed");
+
+    bindTraceContext(cfg_, eq_);
 }
 
-SpeculationEngine::~SpeculationEngine() = default;
+SpeculationEngine::~SpeculationEngine()
+{
+    // The thread's trace clock points into our event queue; detach it
+    // before the queue dies.
+    if constexpr (trace::builtIn())
+        trace::bindClock(nullptr);
+}
 
 void
 SpeculationEngine::specTasksDelta(int delta)
@@ -153,6 +182,7 @@ SpeculationEngine::run()
                     ? workload_.numTasks()
                     : std::min<TaskId>(workload_.numTasks(),
                                        workload_.tasksPerInvocation());
+    bindTraceContext(cfg_, eq_);
     scheduler_.init(invocEnd_);
     for (auto &core : cores_)
         core->beginSection();
@@ -213,6 +243,9 @@ SpeculationEngine::tryDispatch(ProcId proc)
     if (!cfg_.sequential)
         specTasksDelta(+1);
     counters_.inc(sid_.dispatches);
+    TLSIM_TRACE_EVENT(r.incarnation == 1 ? trace::Kind::TaskSpawn
+                                         : trace::Kind::TaskRestart,
+                      proc, id, 0, r.incarnation);
     core.startTask(id, workload_.makeTrace(id),
                    cfg_.sequential ? 0 : cfg_.machine.dispatchCycles);
 }
@@ -222,9 +255,13 @@ SpeculationEngine::onTaskFinished(ProcId proc, TaskId id)
 {
     TaskRecord &r = rec(id);
     r.execEnd = eq_.now();
+    TLSIM_TRACE_EVENT(trace::Kind::TaskFinish, proc, id, 0,
+                      r.incarnation);
 
     if (cfg_.sequential) {
         r.state = TaskState::Committed;
+        TLSIM_TRACE_EVENT(trace::Kind::TaskCommit, proc, id, 0,
+                          r.incarnation);
         footprintWords_ += r.writtenWords.size();
         footprintPrivWords_ += r.privWords;
         execDurSum_ += r.execEnd - r.execStart;
@@ -264,6 +301,8 @@ SpeculationEngine::maybeCommit()
     r.state = TaskState::Committing;
     r.commitStart = eq_.now();
     TaskId id = r.id;
+    TLSIM_TRACE_EVENT(trace::Kind::TokenHandoff, r.proc, id, 0,
+                      r.incarnation);
 
     if (cfg_.scheme.merging == Merging::EagerAMM) {
         Cycle finish = mergeTaskState(id, eq_.now());
@@ -335,6 +374,8 @@ SpeculationEngine::finishCommit(TaskId id)
     TaskRecord &r = rec(id);
     r.state = TaskState::Committed;
     r.commitEnd = eq_.now();
+    TLSIM_TRACE_EVENT(trace::Kind::TaskCommit, r.proc, id, 0,
+                      r.incarnation);
 
     execDurSum_ += r.execEnd - r.execStart;
     commitDurSum_ += r.commitEnd - r.commitStart;
@@ -355,6 +396,9 @@ SpeculationEngine::finishCommit(TaskId id)
         switch (cfg_.scheme.merging) {
           case Merging::EagerAMM: {
             // Data was written back during the merge.
+            if (!v->inMemory)
+                TLSIM_TRACE_EVENT(trace::Kind::VersionMerge, r.proc,
+                                  id, line, r.incarnation);
             if (VersionInfo *old = versions_.memoryHolder(line)) {
                 if (old != v)
                     old->inMemory = false;
@@ -531,6 +575,9 @@ SpeculationEngine::finalMergeProc(ProcId proc, Cycle start)
         }
         counters_.inc(sid_.finalMergeLines);
         if (latest == &v) {
+            TLSIM_TRACE_EVENT(trace::Kind::VersionMerge, proc,
+                              v.tag.producer, line,
+                              v.tag.incarnation);
             unsigned home = homeOf(line);
             net_->traverse(start, nodeOfProc_[proc], nodeOfHome_[home],
                            noc::MsgClass::Data);
@@ -630,6 +677,8 @@ SpeculationEngine::squashOne(TaskId id)
     TaskRecord &r = rec(id);
     ProcId p = r.proc;
     ++r.squashes;
+    TLSIM_TRACE_EVENT(trace::Kind::TaskSquash, p, id, 0,
+                      r.incarnation);
 
     if (r.state == TaskState::Running) {
         cores_[p]->abortTask();

@@ -8,6 +8,7 @@
 #include <algorithm>
 
 #include "common/log.hpp"
+#include "common/trace.hpp"
 #include "mem/geometry.hpp"
 #include "tls/engine.hpp"
 
@@ -242,6 +243,10 @@ SpeculationEngine::handleL2Eviction(ProcId proc,
         } else if (cfg_.scheme.merging == Merging::FMM) {
             VersionInfo *v = versions_.find(line, victim.version);
             if (mtid_.wouldAccept(line, victim.version)) {
+                if (v && !v->inMemory)
+                    TLSIM_TRACE_EVENT(trace::Kind::VersionMerge, proc,
+                                      victim.version.producer, line,
+                                      victim.version.incarnation);
                 if (VersionInfo *old = versions_.memoryHolder(line))
                     old->inMemory = false;
                 mtid_.writeBack(line, victim.version);
@@ -274,6 +279,9 @@ SpeculationEngine::handleL2Eviction(ProcId proc,
         counters_.inc(sid_.overflowSpills);
     } else {
         if (mtid_.wouldAccept(line, victim.version)) {
+            TLSIM_TRACE_EVENT(trace::Kind::VersionMerge, proc,
+                              victim.version.producer, line,
+                              victim.version.incarnation);
             if (VersionInfo *old = versions_.memoryHolder(line))
                 old->inMemory = false;
             mtid_.writeBack(line, victim.version);
@@ -306,6 +314,9 @@ SpeculationEngine::vclMergeLine(Addr line, Cycle now)
             if (old != latest)
                 old->inMemory = false;
         }
+        TLSIM_TRACE_EVENT(trace::Kind::VersionMerge,
+                          latest->cacheOwner, keep.producer, line,
+                          keep.incarnation);
         ProcId owner = latest->cacheOwner;
         if (owner != kNoProc) {
             if (latest->inOverflow)
@@ -631,6 +642,8 @@ SpeculationEngine::specStore(ProcId proc, Addr addr, Cycle now)
         }
         nv.inMemory = true;
         mtid_.set(line, my_tag);
+        TLSIM_TRACE_EVENT(trace::Kind::VersionMerge, proc,
+                          my_tag.producer, line, my_tag.incarnation);
         lat += m.latLocalMem / 2 + memBanks_.access(home, now);
         counters_.inc(sid_.nonspecWritethroughs);
     } else {

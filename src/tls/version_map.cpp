@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hpp"
+#include "common/trace.hpp"
 
 namespace tlsim::tls {
 
@@ -73,6 +74,8 @@ VersionMap::create(Addr line, mem::VersionTag tag, ProcId owner)
     info.tag = tag;
     info.cacheOwner = owner;
     ++totalVersions_;
+    TLSIM_TRACE_EVENT(trace::Kind::VersionCreate, owner, tag.producer,
+                      line, tag.incarnation);
     return *vec.insert(pos, info);
 }
 
@@ -84,6 +87,9 @@ VersionMap::remove(Addr line, mem::VersionTag tag)
         return;
     for (auto vit = list->begin(); vit != list->end(); ++vit) {
         if (vit->tag == tag) {
+            TLSIM_TRACE_EVENT(trace::Kind::VersionRemove,
+                              vit->cacheOwner, tag.producer, line,
+                              tag.incarnation);
             list->erase(vit);
             --totalVersions_;
             break;

@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Check local links in the repository's Markdown files.
+
+Scans the given files (or, with no arguments, every *.md in the
+repository root and docs/) for inline links and images
+``[text](target)``, and verifies that every *local* target exists
+relative to the file that references it. ``http(s):``/``mailto:``
+targets are recorded but not fetched — CI must not depend on network
+weather — and pure in-page anchors (``#section``) are checked against
+the headings of the same file.
+
+Standard library only. Exit code 0 if every link resolves, 1
+otherwise, with one ``file:line: message`` diagnostic per broken link.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+# Inline links/images. Deliberately simple: no nested brackets in the
+# text, target cut at the first space (title strings stay out of the
+# path). Reference-style links are rare in this repo and skipped.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)[^)]*\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*?)\s*#*\s*$")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def slugify(heading: str) -> str:
+    """GitHub-style anchor slug: lowercase, drop punctuation, dashes."""
+    text = re.sub(r"[`*_]", "", heading).strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def collect_anchors(path: Path) -> set[str]:
+    anchors: set[str] = set()
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        m = HEADING_RE.match(line)
+        if m:
+            anchors.add(slugify(m.group(1)))
+        # HTML anchors of the form <a name="..."> / id="..."
+        for a in re.findall(r'(?:name|id)="([^"]+)"', line):
+            anchors.add(a)
+    return anchors
+
+
+def check_file(path: Path) -> list[str]:
+    errors: list[str] = []
+    in_fence = False
+    anchors: set[str] | None = None
+    for lineno, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for m in LINK_RE.finditer(line):
+            target = m.group(1)
+            if re.match(r"^[a-zA-Z][a-zA-Z0-9+.-]*:", target):
+                continue  # http(s), mailto, etc. — not checked
+            if target.startswith("#"):
+                if anchors is None:
+                    anchors = collect_anchors(path)
+                if target[1:].lower() not in anchors:
+                    errors.append(
+                        f"{path}:{lineno}: broken anchor '{target}'"
+                    )
+                continue
+            local = target.split("#", 1)[0]
+            if not local:
+                continue
+            resolved = (path.parent / local).resolve()
+            if not resolved.exists():
+                errors.append(
+                    f"{path}:{lineno}: broken link '{target}'"
+                )
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    repo = Path(__file__).resolve().parent.parent
+    if len(argv) > 1:
+        files = [Path(a) for a in argv[1:]]
+    else:
+        files = sorted(repo.glob("*.md")) + sorted(repo.glob("docs/**/*.md"))
+    if not files:
+        print("check_md_links: no markdown files found", file=sys.stderr)
+        return 1
+    errors: list[str] = []
+    for f in files:
+        if not f.exists():
+            errors.append(f"{f}: no such file")
+            continue
+        errors.extend(check_file(f))
+    for e in errors:
+        print(e, file=sys.stderr)
+    print(
+        f"check_md_links: {len(files)} file(s), {len(errors)} broken link(s)"
+    )
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
