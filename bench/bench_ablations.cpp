@@ -21,7 +21,8 @@ using namespace tlsim;
 
 namespace {
 
-unsigned g_threads = 0; // --threads; 0 = auto
+unsigned g_threads = 0;         // --threads; 0 = auto
+fault::FaultSpec g_faults;      // --faults; inert by default
 
 tls::SchemeConfig
 mv(tls::Merging merge, bool sw = false)
@@ -33,7 +34,8 @@ double
 meanExec(const apps::AppParams &app, const tls::SchemeConfig &scheme,
          const mem::MachineParams &machine, unsigned reps = 2)
 {
-    return sim::runAppStudy(app, {scheme}, machine, reps, g_threads)
+    return sim::runAppStudy(app, {scheme}, machine, reps, g_threads,
+                            g_faults)
         .outcomes[0]
         .meanExecTime;
 }
@@ -44,6 +46,7 @@ int
 main(int argc, char **argv)
 {
     g_threads = bench::parseThreads(argc, argv);
+    g_faults = bench::parseFaults(argc, argv);
     mem::MachineParams numa = mem::MachineParams::numa16();
 
     // ---- A: overflow-area cost sweep (P3m, Lazy AMM) ----
@@ -87,7 +90,7 @@ main(int argc, char **argv)
             m.l2 = mem::CacheGeometry::of(g.size, g.assoc);
             sim::AppStudy study = sim::runAppStudy(
                 apps::p3m(), {mv(tls::Merging::LazyAMM)}, m, 2,
-                g_threads);
+                g_threads, g_faults);
             t.addRow({g.name,
                       TextTable::fmt(
                           study.outcomes[0].meanExecTime / 1e6, 2) +
@@ -111,9 +114,11 @@ main(int argc, char **argv)
             mem::MachineParams line_m = numa;
             line_m.wordGranularityDetection = false;
             sim::AppStudy word_s = sim::runAppStudy(
-                app, {mv(tls::Merging::LazyAMM)}, numa, 2, g_threads);
+                app, {mv(tls::Merging::LazyAMM)}, numa, 2, g_threads,
+                g_faults);
             sim::AppStudy line_s = sim::runAppStudy(
-                app, {mv(tls::Merging::LazyAMM)}, line_m, 2, g_threads);
+                app, {mv(tls::Merging::LazyAMM)}, line_m, 2, g_threads,
+                g_faults);
             t.addRow({app.name,
                       TextTable::fmt(word_s.outcomes[0].meanSquashes, 1),
                       TextTable::fmt(line_s.outcomes[0].meanSquashes, 1),

@@ -11,6 +11,7 @@
 #include <cstring>
 #include <string>
 
+#include "common/fault.hpp"
 #include "common/task_pool.hpp"
 #include "common/trace.hpp"
 
@@ -50,6 +51,39 @@ parseThreads(int argc, char **argv)
         }
     }
     return 0;
+}
+
+/**
+ * Parse a `--faults SPEC` / `--faults=SPEC` flag for the simulation
+ * drivers (grammar: see fault::FaultSpec). Returns an inert spec when
+ * the flag is absent; exits with the parse error when it is malformed.
+ * Faulted figure tables are for robustness experiments — they are
+ * still deterministic per spec, but they are *not* the paper's
+ * numbers, so drivers print the canonical spec to stderr as a banner.
+ */
+inline fault::FaultSpec
+parseFaults(int argc, char **argv)
+{
+    const char *spec = nullptr;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--faults") == 0 && i + 1 < argc)
+            spec = argv[++i];
+        else if (std::strncmp(arg, "--faults=", 9) == 0)
+            spec = arg + 9;
+    }
+    fault::FaultSpec faults;
+    if (spec != nullptr) {
+        std::string err;
+        if (!fault::FaultSpec::parse(spec, &faults, &err)) {
+            std::fprintf(stderr, "--faults: %s\n", err.c_str());
+            std::exit(1);
+        }
+        if (faults.anyEnabled())
+            std::fprintf(stderr, "faults: %s\n",
+                         faults.canonical().c_str());
+    }
+    return faults;
 }
 
 /**

@@ -18,6 +18,7 @@ int
 main(int argc, char **argv)
 {
     unsigned threads = bench::parseThreads(argc, argv);
+    fault::FaultSpec faults = bench::parseFaults(argc, argv);
     // As in the paper, measured under a scheme where tasks do not
     // stall (MultiT&MV) on the CC-NUMA.
     tls::SchemeConfig scheme{tls::Separation::MultiTMV,
@@ -33,7 +34,9 @@ main(int argc, char **argv)
     std::vector<tls::RunResult> runs(suite.size());
     parallelFor(
         suite.size(),
-        [&](std::size_t i) { runs[i] = sim::runScheme(suite[i], scheme, numa); },
+        [&](std::size_t i) {
+            runs[i] = sim::runScheme(suite[i], scheme, numa, faults);
+        },
         threads);
 
     for (std::size_t i = 0; i < suite.size(); ++i) {

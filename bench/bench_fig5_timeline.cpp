@@ -52,6 +52,7 @@ main(int argc, char **argv)
 {
     // Scripted four-task runs: small enough to trace every category,
     // NoC included (--trace=FILE / --trace-json=FILE).
+    fault::FaultSpec faults = bench::parseFaults(argc, argv);
     bench::TraceSession trace_session(argc, argv, trace::kMaskAll,
                                       std::size_t(1) << 20);
     std::printf("Figure 5 — four tasks under SingleT (a), MultiT&SV "
@@ -68,7 +69,7 @@ main(int argc, char **argv)
     Cycle longest = 0;
     std::vector<tls::RunResult> results;
     for (tls::Separation sep : seps) {
-        results.push_back(bench::runFigure5(sep));
+        results.push_back(bench::runFigure5(sep, faults));
         longest = std::max(longest, results.back().execTime);
     }
     Cycle scale = std::max<Cycle>(1, longest / 76);

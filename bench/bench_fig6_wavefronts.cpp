@@ -54,6 +54,7 @@ int
 main(int argc, char **argv)
 {
     // Scripted wavefront runs: small enough to trace every category.
+    fault::FaultSpec faults = bench::parseFaults(argc, argv);
     bench::TraceSession trace_session(argc, argv, trace::kMaskAll,
                                       std::size_t(1) << 20);
     struct Config {
@@ -77,7 +78,8 @@ main(int argc, char **argv)
     tls::RunResult results[4];
     Cycle longest = 0;
     for (int i = 0; i < 4; ++i) {
-        results[i] = bench::runFigure6(configs[i].sep, configs[i].merge);
+        results[i] = bench::runFigure6(configs[i].sep, configs[i].merge,
+                                       3, 6, faults);
         longest = std::max(longest, results[i].execTime);
     }
     Cycle scale = std::max<Cycle>(1, longest / 72);

@@ -17,6 +17,7 @@ int
 main(int argc, char **argv)
 {
     unsigned threads = bench::parseThreads(argc, argv);
+    fault::FaultSpec faults = bench::parseFaults(argc, argv);
     // Full sweeps emit millions of records; default to the audit
     // categories (no NoC firehose) and size the rings accordingly.
     bench::TraceSession trace_session(argc, argv, trace::kMaskAudit,
@@ -32,7 +33,8 @@ main(int argc, char **argv)
     };
 
     std::vector<sim::AppStudy> studies =
-        sim::runStudySweep(apps::appSuite(), schemes, machine, 3, threads);
+        sim::runStudySweep(apps::appSuite(), schemes, machine, 3, threads,
+                           faults);
 
     std::fputs(sim::renderFigure(
                    "Figure 9 — task-state separation x eager/lazy AMM "

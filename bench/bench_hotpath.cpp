@@ -89,6 +89,12 @@ operator new[](std::size_t n, std::align_val_t al)
     return ::operator new(n, al);
 }
 
+// free() is the right counterpart for both new paths above (malloc and
+// aligned_alloc); GCC's -Wmismatched-new-delete can't see that through
+// the replaced globals, so quiet it for this shim block.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+
 void
 operator delete(void *p) noexcept
 {
@@ -124,6 +130,8 @@ operator delete(void *p, std::size_t, std::align_val_t) noexcept
 {
     std::free(p);
 }
+
+#pragma GCC diagnostic pop
 
 namespace tlsim::bench {
 
@@ -534,7 +542,6 @@ struct AccessDriver {
     {
         constexpr std::uint32_t kPerTask = kOpsPerRetire + 16;
         const TaskId scratchTask = TaskId(1) << 30;
-        const mem::VersionTag scratch{scratchTask, 1};
         recovery.reserve(kPerTask);
         for (auto &v : dirty)
             v.reserve(kPerTask);

@@ -1,0 +1,348 @@
+/**
+ * @file
+ * Fault-injection soak runner: randomized (but fully deterministic)
+ * fault schedules across every evaluated scheme, checking the three
+ * robustness oracles on every point:
+ *
+ *   (a) completion — every task commits despite injected squashes,
+ *       NoC stalls and forced buffer spills;
+ *   (b) state — the final committed memory image (RunResult
+ *       memStateHash/memStateLines) is byte-identical to the
+ *       fault-free run of the same workload seed: faults may only
+ *       move events in time, never change what commits;
+ *   (c) audit — the recorded task-lifetime trace replays cleanly
+ *       through the docs/TRACING.md invariants (same checker as
+ *       `bench_inspect --audit`).
+ *
+ * Every schedule is drawn from a seeded generator, so a failing round
+ * reproduces exactly from its printed spec: re-run with
+ * `--faults=<spec>` on any figure driver or re-run the soak with the
+ * same `--seed`.
+ *
+ * Flags: --short (CI-sized rounds), --rounds=N, --seed=N, --threads=N,
+ * --trace=FILE (write the recorded soak trace for offline
+ * `bench_inspect --audit`).
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "sim/study.hpp"
+
+using namespace tlsim;
+
+namespace {
+
+/** Squash-prone app: cross-task dependences plus spurious squashes. */
+apps::AppParams
+soakSquashy(unsigned tasks)
+{
+    apps::AppParams app;
+    app.name = "soak-squashy";
+    app.numTasks = tasks;
+    app.instrPerTask = 900;
+    app.sizeSigma = 0.4;
+    app.writtenKb = 0.8;
+    app.sharedReadKb = 0.2;
+    app.depProb = 0.05;
+    app.depDistance = 3;
+    return app;
+}
+
+/** Buffer-hungry app: a large written footprint pressures the L2 and
+ *  the (fault-capped) overflow area. */
+apps::AppParams
+soakHungry(unsigned tasks)
+{
+    apps::AppParams app;
+    app.name = "soak-hungry";
+    app.numTasks = tasks;
+    app.instrPerTask = 1'400;
+    app.sizeSigma = 0.2;
+    app.writtenKb = 6.0;
+    app.sharedReadKb = 0.3;
+    app.depProb = 0.01;
+    app.depDistance = 2;
+    return app;
+}
+
+/**
+ * Draw one randomized fault schedule. Every site gets a nonzero rate —
+ * the soak's job is to exercise all of them at once — with magnitudes
+ * kept in ranges where runs still finish quickly.
+ */
+fault::FaultSpec
+drawSchedule(Rng &rng)
+{
+    fault::FaultSpec spec;
+    spec.seed = rng.next();
+    spec.nocDelayProb = 0.02 + 0.08 * rng.uniform();
+    spec.nocDelayCycles = Cycle(rng.range(10, 30));
+    spec.nocStallProb = 0.005 + 0.015 * rng.uniform();
+    spec.nocStallCycles = Cycle(rng.range(40, 120));
+    spec.nocRetryMax = unsigned(rng.range(3, 5));
+    spec.spillProb = 0.01 + 0.04 * rng.uniform();
+    spec.overflowCap = std::size_t(rng.range(8, 40));
+    spec.overflowPressureCycles = Cycle(rng.range(30, 90));
+    spec.undoStressProb = 0.2 + 0.4 * rng.uniform();
+    spec.undoStressCycles = Cycle(rng.range(20, 80));
+    spec.squashProb = 0.002 + 0.006 * rng.uniform();
+    // Budgeted: spurious squashes fire per store and re-executed
+    // stores draw again, so an uncapped rate explodes under FMM's
+    // serialized recovery (each squash wipes every younger task).
+    spec.squashMax = rng.range(24, 64);
+    spec.commitSquashProb = 0.002 + 0.008 * rng.uniform();
+    spec.commitSquashMax = rng.range(12, 32);
+    return spec;
+}
+
+struct SoakTally {
+    unsigned points = 0;
+    unsigned completionFailures = 0;
+    unsigned stateMismatches = 0;
+    fault::FaultCounters injected;
+
+    void
+    fold(const fault::FaultCounters &c)
+    {
+        injected.nocDelays += c.nocDelays;
+        injected.nocStalls += c.nocStalls;
+        injected.nocRetries += c.nocRetries;
+        injected.forcedSpills += c.forcedSpills;
+        injected.overflowPressure += c.overflowPressure;
+        injected.undoStressEvents += c.undoStressEvents;
+        injected.undoStressCycles += c.undoStressCycles;
+        injected.spuriousSquashes += c.spuriousSquashes;
+        injected.commitSquashes += c.commitSquashes;
+    }
+};
+
+bool
+parseFlag(int argc, char **argv, const char *name)
+{
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], name) == 0)
+            return true;
+    return false;
+}
+
+std::uint64_t
+parseU64Flag(int argc, char **argv, const char *prefix,
+             std::uint64_t fallback)
+{
+    std::size_t len = std::strlen(prefix);
+    for (int i = 1; i < argc; ++i)
+        if (std::strncmp(argv[i], prefix, len) == 0)
+            return std::strtoull(argv[i] + len, nullptr, 10);
+    return fallback;
+}
+
+std::string
+parseTracePath(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--trace=", 8) == 0)
+            return argv[i] + 8;
+        if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc)
+            return argv[i + 1];
+    }
+    return {};
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const bool short_mode = parseFlag(argc, argv, "--short");
+    const unsigned threads = bench::parseThreads(argc, argv);
+    const std::uint64_t seed =
+        parseU64Flag(argc, argv, "--seed=", 0x50a4'50a4ULL);
+    const unsigned rounds = unsigned(parseU64Flag(
+        argc, argv, "--rounds=", short_mode ? 2 : 4));
+    const std::string trace_path = parseTracePath(argc, argv);
+    const unsigned tasks = short_mode ? 48 : 96;
+    // A --faults=SPEC override replays that exact schedule in every
+    // round instead of drawing randomized ones (failure reproduction).
+    const fault::FaultSpec fixed_spec = bench::parseFaults(argc, argv);
+
+    std::vector<apps::AppParams> apps = {soakSquashy(tasks),
+                                         soakHungry(tasks)};
+    std::vector<tls::SchemeConfig> schemes =
+        tls::SchemeConfig::evaluatedSchemes();
+    // --scheme=N narrows to one evaluated scheme (failure isolation).
+    std::uint64_t scheme_pick =
+        parseU64Flag(argc, argv, "--scheme=", ~0ULL);
+    if (scheme_pick < schemes.size())
+        schemes = {schemes[scheme_pick]};
+
+    // One in-memory trace session spans the whole soak; each sweep's
+    // points get distinct streams (app, machine, sweep ordinal), so a
+    // single end-of-run audit covers every round, faulted and clean.
+    const bool tracing = trace::builtIn();
+    if (tracing) {
+        trace::Options opts;
+        opts.mask = trace::kMaskAudit;
+        opts.ringCapacity = std::size_t(1) << (short_mode ? 21 : 23);
+        trace::start(opts);
+    } else {
+        std::fprintf(stderr, "soak: built with TLSIM_TRACE=OFF — "
+                             "running without the trace audit oracle\n");
+    }
+
+    std::printf("Fault-injection soak: %u rounds x %zu apps x %zu "
+                "schemes (seed 0x%llx%s)\n\n",
+                rounds, apps.size(), schemes.size(),
+                (unsigned long long)seed, short_mode ? ", short" : "");
+
+    Rng master(seed);
+    SoakTally tally;
+    TextTable table({"Round", "Machine", "Schedule", "Points",
+                     "Injected faults", "State"});
+
+    for (unsigned round = 0; round < rounds; ++round) {
+        fault::FaultSpec spec =
+            fixed_spec.anyEnabled() ? fixed_spec : drawSchedule(master);
+        // Alternate machines so both NoC fault paths (mesh links,
+        // crossbar ports) see stalls and delays.
+        mem::MachineParams machine = (round % 2 == 0)
+                                         ? mem::MachineParams::numa16()
+                                         : mem::MachineParams::cmp8();
+
+        // Fresh workload draw per round: the fault seed is derived
+        // from the app seed (deriveFaultSeed), so the faulted and
+        // fault-free sweeps pair point-by-point.
+        std::vector<apps::AppParams> round_apps = apps;
+        std::uint64_t mix = seed + 0x9e3779b97f4a7c15ULL * (round + 1);
+        for (std::size_t a = 0; a < round_apps.size(); ++a) {
+            std::uint64_t s = mix + a;
+            round_apps[a].seed = splitmix64(s);
+        }
+
+        std::vector<sim::AppStudy> faulted = sim::runStudySweep(
+            round_apps, schemes, machine, 1, threads, spec);
+        std::vector<sim::AppStudy> clean = sim::runStudySweep(
+            round_apps, schemes, machine, 1, threads, {});
+
+        unsigned round_points = 0;
+        fault::FaultCounters round_injected;
+        bool round_state_ok = true;
+        for (std::size_t a = 0; a < round_apps.size(); ++a) {
+            for (std::size_t s = 0; s < schemes.size(); ++s) {
+                const tls::RunResult &f = faulted[a].outcomes[s].result;
+                const tls::RunResult &c = clean[a].outcomes[s].result;
+                ++tally.points;
+                ++round_points;
+                if (f.committedTasks != round_apps[a].numTasks ||
+                    c.committedTasks != round_apps[a].numTasks) {
+                    ++tally.completionFailures;
+                    std::fprintf(stderr,
+                                 "soak: round %u %s/%s committed "
+                                 "%llu/%u tasks\n",
+                                 round, round_apps[a].name.c_str(),
+                                 schemes[s].name().c_str(),
+                                 (unsigned long long)f.committedTasks,
+                                 round_apps[a].numTasks);
+                }
+                if (f.memStateHash != c.memStateHash ||
+                    f.memStateLines != c.memStateLines) {
+                    ++tally.stateMismatches;
+                    round_state_ok = false;
+                    std::fprintf(
+                        stderr,
+                        "soak: round %u %s/%s memory-state divergence "
+                        "(faulted %016llx/%llu lines vs clean "
+                        "%016llx/%llu)\n  schedule: %s\n",
+                        round, round_apps[a].name.c_str(),
+                        schemes[s].name().c_str(),
+                        (unsigned long long)f.memStateHash,
+                        (unsigned long long)f.memStateLines,
+                        (unsigned long long)c.memStateHash,
+                        (unsigned long long)c.memStateLines,
+                        spec.canonical().c_str());
+                }
+                tally.fold(f.faults);
+                round_injected.nocDelays += f.faults.nocDelays;
+                round_injected.nocStalls += f.faults.nocStalls;
+                round_injected.forcedSpills += f.faults.forcedSpills;
+                round_injected.overflowPressure +=
+                    f.faults.overflowPressure;
+                round_injected.undoStressEvents +=
+                    f.faults.undoStressEvents;
+                round_injected.spuriousSquashes +=
+                    f.faults.spuriousSquashes;
+                round_injected.commitSquashes += f.faults.commitSquashes;
+            }
+        }
+
+        char injected[96];
+        std::snprintf(injected, sizeof(injected),
+                      "noc %llu+%llu spill %llu ovf %llu undo %llu "
+                      "sq %llu+%llu",
+                      (unsigned long long)round_injected.nocDelays,
+                      (unsigned long long)round_injected.nocStalls,
+                      (unsigned long long)round_injected.forcedSpills,
+                      (unsigned long long)round_injected.overflowPressure,
+                      (unsigned long long)round_injected.undoStressEvents,
+                      (unsigned long long)round_injected.spuriousSquashes,
+                      (unsigned long long)round_injected.commitSquashes);
+        table.addRow({std::to_string(round),
+                      (round % 2 == 0) ? "NUMA-16" : "CMP-8",
+                      spec.canonical(), std::to_string(round_points),
+                      injected, round_state_ok ? "match" : "DIVERGED"});
+    }
+
+    std::fputs(table.render().c_str(), stdout);
+
+    // The soak must actually have exercised every fault site: a soak
+    // where (say) no NoC stall ever fired proves nothing about stalls.
+    bool coverage_ok = tally.injected.nocDelays > 0 &&
+                       tally.injected.nocStalls > 0 &&
+                       tally.injected.forcedSpills > 0 &&
+                       tally.injected.overflowPressure > 0 &&
+                       tally.injected.undoStressEvents > 0 &&
+                       tally.injected.spuriousSquashes > 0 &&
+                       tally.injected.commitSquashes > 0;
+
+    std::size_t audit_issues = 0;
+    if (tracing) {
+        trace::stop();
+        trace::TraceFile file = trace::drainFile();
+        trace::reset();
+        trace::AuditReport report = trace::audit(file);
+        audit_issues = report.issues.size();
+        std::printf("\nTrace audit: %zu records, %zu streams, %zu "
+                    "checks, %zu issues\n",
+                    report.records, report.streams, report.checks,
+                    audit_issues);
+        if (!report.ok())
+            std::fputs(report.summary().c_str(), stderr);
+        if (!trace_path.empty()) {
+            std::string err;
+            if (trace::writeBinary(trace_path, file, &err))
+                std::fprintf(stderr, "soak: trace -> %s\n",
+                             trace_path.c_str());
+            else
+                std::fprintf(stderr, "soak: %s\n", err.c_str());
+        }
+    }
+
+    std::printf("\nSoak summary: %u points, %u completion failures, "
+                "%u state mismatches, %llu injected faults%s\n",
+                tally.points, tally.completionFailures,
+                tally.stateMismatches,
+                (unsigned long long)tally.injected.total(),
+                coverage_ok ? "" : " (COVERAGE GAP: some fault site "
+                                   "never fired)");
+
+    bool ok = tally.completionFailures == 0 &&
+              tally.stateMismatches == 0 && coverage_ok &&
+              audit_issues == 0;
+    std::printf("SOAK %s\n", ok ? "PASS" : "FAIL");
+    return ok ? 0 : 1;
+}

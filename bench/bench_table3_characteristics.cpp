@@ -18,6 +18,7 @@ int
 main(int argc, char **argv)
 {
     unsigned threads = bench::parseThreads(argc, argv);
+    fault::FaultSpec faults = bench::parseFaults(argc, argv);
     tls::SchemeConfig mv_eager{tls::Separation::MultiTMV,
                                tls::Merging::EagerAMM, false};
     mem::MachineParams numa = mem::MachineParams::numa16();
@@ -38,9 +39,11 @@ main(int argc, char **argv)
         [&](std::size_t i) {
             const apps::AppParams &app = suite[i / 2];
             if (i % 2 == 0)
-                numa_runs[i / 2] = sim::runScheme(app, mv_eager, numa);
+                numa_runs[i / 2] =
+                    sim::runScheme(app, mv_eager, numa, faults);
             else
-                cmp_runs[i / 2] = sim::runScheme(app, mv_eager, cmp);
+                cmp_runs[i / 2] =
+                    sim::runScheme(app, mv_eager, cmp, faults);
         },
         threads);
 

@@ -7,6 +7,7 @@
 #ifndef TLSIM_BENCH_SCRIPTED_FIGURE_WORKLOADS_HPP
 #define TLSIM_BENCH_SCRIPTED_FIGURE_WORKLOADS_HPP
 
+#include "common/fault.hpp"
 #include "tls/engine.hpp"
 #include "tls/scripted_workload.hpp"
 
@@ -20,7 +21,7 @@ inline constexpr Addr kVarX = 0x1000'0000;
  * T2 both create their own version of X.
  */
 inline tls::RunResult
-runFigure5(tls::Separation sep)
+runFigure5(tls::Separation sep, const fault::FaultSpec &faults = {})
 {
     using cpu::Op;
     std::vector<std::vector<Op>> tasks;
@@ -40,6 +41,7 @@ runFigure5(tls::Separation sep)
     cfg.scheme = tls::SchemeConfig::make(sep, tls::Merging::EagerAMM);
     cfg.machine = mem::MachineParams::numa16();
     cfg.machine.numProcs = 2;
+    cfg.faults = faults;
     tls::SpeculationEngine engine(cfg, wl);
     return engine.run();
 }
@@ -50,7 +52,7 @@ runFigure5(tls::Separation sep)
  */
 inline tls::RunResult
 runFigure6(tls::Separation sep, tls::Merging merge, unsigned procs = 3,
-           unsigned n_tasks = 6)
+           unsigned n_tasks = 6, const fault::FaultSpec &faults = {})
 {
     using cpu::Op;
     std::vector<std::vector<Op>> tasks;
@@ -68,6 +70,7 @@ runFigure6(tls::Separation sep, tls::Merging merge, unsigned procs = 3,
     cfg.scheme = tls::SchemeConfig::make(sep, merge);
     cfg.machine = mem::MachineParams::numa16();
     cfg.machine.numProcs = procs;
+    cfg.faults = faults;
     tls::SpeculationEngine engine(cfg, wl);
     return engine.run();
 }

@@ -1,0 +1,292 @@
+#include "common/fault.hpp"
+
+#include <charconv>
+#include <cstdio>
+
+namespace tlsim::fault {
+
+namespace {
+
+/** Shortest round-trip rendering of a double (via to_chars). */
+std::string
+renderDouble(double v)
+{
+    char buf[40];
+    auto res = std::to_chars(buf, buf + sizeof(buf), v);
+    return std::string(buf, res.ptr);
+}
+
+bool
+parseU64(std::string_view text, std::uint64_t *out)
+{
+    std::uint64_t v = 0;
+    auto res = std::from_chars(text.data(), text.data() + text.size(), v);
+    if (res.ec != std::errc() || res.ptr != text.data() + text.size())
+        return false;
+    *out = v;
+    return true;
+}
+
+bool
+parseProb(std::string_view text, double *out)
+{
+    double v = 0.0;
+    auto res = std::from_chars(text.data(), text.data() + text.size(), v);
+    if (res.ec != std::errc() || res.ptr != text.data() + text.size())
+        return false;
+    if (!(v >= 0.0 && v <= 1.0))
+        return false;
+    *out = v;
+    return true;
+}
+
+/** Split `value[:value...]` into at most @p max fields. */
+unsigned
+splitFields(std::string_view text, std::string_view *fields, unsigned max)
+{
+    unsigned n = 0;
+    while (n < max) {
+        std::size_t colon = text.find(':');
+        fields[n++] = text.substr(0, colon);
+        if (colon == std::string_view::npos)
+            return n;
+        text.remove_prefix(colon + 1);
+    }
+    return max + 1; // too many fields
+}
+
+bool
+fail(std::string *err, std::string_view item, const char *why)
+{
+    if (err != nullptr) {
+        *err = "bad fault spec item '";
+        err->append(item);
+        err->append("': ");
+        err->append(why);
+    }
+    return false;
+}
+
+} // namespace
+
+bool
+FaultSpec::parse(std::string_view spec, FaultSpec *out, std::string *err)
+{
+    FaultSpec parsed;
+    std::string_view rest = spec;
+    while (!rest.empty()) {
+        std::size_t comma = rest.find(',');
+        std::string_view item = rest.substr(0, comma);
+        rest = comma == std::string_view::npos ? std::string_view{}
+                                               : rest.substr(comma + 1);
+        if (item.empty())
+            continue;
+
+        std::size_t eq = item.find('=');
+        if (eq == std::string_view::npos)
+            return fail(err, item, "expected key=value");
+        std::string_view key = item.substr(0, eq);
+        std::string_view f[3];
+        unsigned n = splitFields(item.substr(eq + 1), f, 3);
+
+        std::uint64_t u = 0;
+        if (key == "seed") {
+            if (n != 1 || !parseU64(f[0], &parsed.seed))
+                return fail(err, item, "seed=N");
+        } else if (key == "noc-delay") {
+            if (n < 1 || n > 2 || !parseProb(f[0], &parsed.nocDelayProb))
+                return fail(err, item, "noc-delay=P[:C], P in [0,1]");
+            if (n == 2) {
+                if (!parseU64(f[1], &u))
+                    return fail(err, item, "cycle count must be an integer");
+                parsed.nocDelayCycles = static_cast<Cycle>(u);
+            }
+        } else if (key == "noc-stall") {
+            if (n < 1 || n > 3 || !parseProb(f[0], &parsed.nocStallProb))
+                return fail(err, item, "noc-stall=P[:C[:R]], P in [0,1]");
+            if (n >= 2) {
+                if (!parseU64(f[1], &u))
+                    return fail(err, item, "cycle count must be an integer");
+                parsed.nocStallCycles = static_cast<Cycle>(u);
+            }
+            if (n == 3) {
+                if (!parseU64(f[2], &u) || u == 0)
+                    return fail(err, item, "retry count must be >= 1");
+                parsed.nocRetryMax = static_cast<unsigned>(u);
+            }
+        } else if (key == "spill") {
+            if (n != 1 || !parseProb(f[0], &parsed.spillProb))
+                return fail(err, item, "spill=P, P in [0,1]");
+        } else if (key == "ovf-cap") {
+            if (n < 1 || n > 2 || !parseU64(f[0], &u))
+                return fail(err, item, "ovf-cap=N[:C]");
+            parsed.overflowCap = static_cast<std::size_t>(u);
+            if (n == 2) {
+                if (!parseU64(f[1], &u))
+                    return fail(err, item, "cycle count must be an integer");
+                parsed.overflowPressureCycles = static_cast<Cycle>(u);
+            }
+        } else if (key == "undo") {
+            if (n < 1 || n > 2 || !parseProb(f[0], &parsed.undoStressProb))
+                return fail(err, item, "undo=P[:C], P in [0,1]");
+            if (n == 2) {
+                if (!parseU64(f[1], &u))
+                    return fail(err, item, "cycle count must be an integer");
+                parsed.undoStressCycles = static_cast<Cycle>(u);
+            }
+        } else if (key == "squash") {
+            if (n < 1 || n > 2 || !parseProb(f[0], &parsed.squashProb))
+                return fail(err, item, "squash=P[:N], P in [0,1]");
+            if (n == 2) {
+                if (!parseU64(f[1], &parsed.squashMax))
+                    return fail(err, item, "budget must be an integer");
+            }
+        } else if (key == "commit-squash") {
+            if (n < 1 || n > 2 ||
+                !parseProb(f[0], &parsed.commitSquashProb))
+                return fail(err, item, "commit-squash=P[:N], P in [0,1]");
+            if (n == 2) {
+                if (!parseU64(f[1], &parsed.commitSquashMax))
+                    return fail(err, item, "budget must be an integer");
+            }
+        } else {
+            return fail(err, item, "unknown key");
+        }
+    }
+    *out = parsed;
+    return true;
+}
+
+std::string
+FaultSpec::canonical() const
+{
+    char num[64];
+    std::string s = "seed=";
+    std::snprintf(num, sizeof(num), "%llu",
+                  static_cast<unsigned long long>(seed));
+    s += num;
+    s += ",noc-delay=" + renderDouble(nocDelayProb);
+    std::snprintf(num, sizeof(num), ":%llu,noc-stall=",
+                  static_cast<unsigned long long>(nocDelayCycles));
+    s += num;
+    s += renderDouble(nocStallProb);
+    std::snprintf(num, sizeof(num), ":%llu:%u,spill=",
+                  static_cast<unsigned long long>(nocStallCycles),
+                  nocRetryMax);
+    s += num;
+    s += renderDouble(spillProb);
+    std::snprintf(num, sizeof(num), ",ovf-cap=%llu:%llu,undo=",
+                  static_cast<unsigned long long>(overflowCap),
+                  static_cast<unsigned long long>(overflowPressureCycles));
+    s += num;
+    s += renderDouble(undoStressProb);
+    std::snprintf(num, sizeof(num), ":%llu,squash=",
+                  static_cast<unsigned long long>(undoStressCycles));
+    s += num;
+    s += renderDouble(squashProb);
+    std::snprintf(num, sizeof(num), ":%llu,commit-squash=",
+                  static_cast<unsigned long long>(squashMax));
+    s += num;
+    s += renderDouble(commitSquashProb);
+    std::snprintf(num, sizeof(num), ":%llu",
+                  static_cast<unsigned long long>(commitSquashMax));
+    s += num;
+    return s;
+}
+
+FaultPlan::FaultPlan(const FaultSpec &spec)
+    : spec_(spec), active_(spec.anyEnabled())
+{
+    for (unsigned site = 0; site < kNumSites; ++site)
+        rng_[site] = Rng::fork(spec_.seed, 0x9d0fULL + site);
+}
+
+Cycle
+FaultPlan::nocLinkFault(Resource &link, Cycle when)
+{
+    Cycle extra = 0;
+    if (spec_.nocDelayProb > 0.0 &&
+        rng_[kNocDelay].chance(spec_.nocDelayProb)) {
+        extra += spec_.nocDelayCycles;
+        ++counters_.nocDelays;
+    }
+    if (spec_.nocStallProb > 0.0 &&
+        rng_[kNocStall].chance(spec_.nocStallProb)) {
+        ++counters_.nocStalls;
+        // Transient link stall: the message backs off and retries,
+        // re-reserving the link each attempt so everything queued
+        // behind it sees the congestion. Bounded retries + the final
+        // unconditional reservation guarantee eventual delivery: a
+        // stall can only cost time.
+        Cycle backoff = spec_.nocStallCycles;
+        for (unsigned attempt = 0; attempt < spec_.nocRetryMax; ++attempt) {
+            ++counters_.nocRetries;
+            extra += backoff;
+            extra += link.acquire(when + extra, 1);
+            if (!rng_[kNocStall].chance(spec_.nocStallProb))
+                break;
+            backoff *= 2;
+        }
+    }
+    return extra;
+}
+
+bool
+FaultPlan::forceSpill()
+{
+    if (spec_.spillProb <= 0.0 || !rng_[kSpill].chance(spec_.spillProb))
+        return false;
+    ++counters_.forcedSpills;
+    return true;
+}
+
+Cycle
+FaultPlan::overflowPressurePenalty()
+{
+    ++counters_.overflowPressure;
+    return spec_.overflowPressureCycles;
+}
+
+Cycle
+FaultPlan::undoRecoveryStress(std::size_t entries)
+{
+    if (spec_.undoStressProb <= 0.0)
+        return 0;
+    Cycle extra = 0;
+    for (std::size_t i = 0; i < entries; ++i) {
+        if (rng_[kUndo].chance(spec_.undoStressProb)) {
+            ++counters_.undoStressEvents;
+            extra += spec_.undoStressCycles;
+        }
+    }
+    counters_.undoStressCycles += extra;
+    return extra;
+}
+
+bool
+FaultPlan::spuriousViolation()
+{
+    // Budget check first: an exhausted site stops drawing entirely
+    // (cheaper, and the stream stays a pure function of the spec).
+    if (spec_.squashProb <= 0.0 ||
+        (spec_.squashMax > 0 &&
+         counters_.spuriousSquashes >= spec_.squashMax) ||
+        !rng_[kSquash].chance(spec_.squashProb))
+        return false;
+    ++counters_.spuriousSquashes;
+    return true;
+}
+
+bool
+FaultPlan::commitTokenSquash()
+{
+    if (spec_.commitSquashProb <= 0.0 ||
+        (spec_.commitSquashMax > 0 &&
+         counters_.commitSquashes >= spec_.commitSquashMax) ||
+        !rng_[kCommitSquash].chance(spec_.commitSquashProb))
+        return false;
+    ++counters_.commitSquashes;
+    return true;
+}
+
+} // namespace tlsim::fault

@@ -13,6 +13,8 @@ OverflowArea::put(Addr line, VersionTag version, std::uint8_t write_mask)
         *mask |= write_mask;
     } else {
         ++spills_;
+        if (faultPressured())
+            ++pressured_spills_;
         TLSIM_TRACE_EVENT(trace::Kind::VersionOverflow, ~0u,
                           version.producer, line, version.incarnation);
     }

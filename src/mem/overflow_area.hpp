@@ -49,6 +49,24 @@ class OverflowArea
     /** Lifetime number of spills. */
     std::uint64_t totalSpills() const { return spills_; }
 
+    /**
+     * Fault injection: treat the area as saturated at @p cap entries
+     * (0 disables). Saturation never rejects a spill — overflow space
+     * is memory, so capacity pressure can only cost latency; while
+     * saturated, the engine charges extra cycles per table consult.
+     */
+    void setFaultCapacity(std::size_t cap) { fault_cap_ = cap; }
+
+    /** True while the fault capacity is set and exceeded. */
+    bool
+    faultPressured() const
+    {
+        return fault_cap_ != 0 && entries_.size() >= fault_cap_;
+    }
+
+    /** Number of spills that landed while saturated. */
+    std::uint64_t pressuredSpills() const { return pressured_spills_; }
+
     void clear();
 
   private:
@@ -76,6 +94,8 @@ class OverflowArea
     FlatMap<Key, std::uint8_t, KeyHash> entries_;
     std::size_t peak_ = 0;
     std::uint64_t spills_ = 0;
+    std::size_t fault_cap_ = 0;
+    std::uint64_t pressured_spills_ = 0;
 };
 
 } // namespace tlsim::mem

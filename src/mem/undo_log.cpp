@@ -1,5 +1,6 @@
 #include "mem/undo_log.hpp"
 
+#include "common/fault.hpp"
 #include "common/trace.hpp"
 
 namespace tlsim::mem {
@@ -66,10 +67,13 @@ void
 UndoLog::takeForRecovery(TaskId task, std::vector<UndoLogEntry> &out)
 {
     out.clear();
+    last_stress_ = 0;
     const std::uint32_t *slot = slotOf_.find(task);
     if (!slot)
         return;
     std::vector<UndoLogEntry> &slab = slabs_[*slot];
+    if (faults_ != nullptr)
+        last_stress_ = faults_->undoRecoveryStress(slab.size());
     TLSIM_TRACE_EVENT(trace::Kind::UndoRecover, ~0u, task, 0,
                       slab.size());
     liveEntries_ -= slab.size();

@@ -20,6 +20,10 @@
 #include "common/types.hpp"
 #include "mem/version_tag.hpp"
 
+namespace tlsim::fault {
+class FaultPlan;
+} // namespace tlsim::fault
+
 namespace tlsim::mem {
 
 /** One MHB record: the overwritten version of one line. */
@@ -89,6 +93,17 @@ class UndoLog
     /** Lifetime appended entries. */
     std::uint64_t totalAppends() const { return appends_; }
 
+    /**
+     * Fault injection: attach a plan whose undo site is consulted per
+     * entry drained by takeForRecovery (nullptr detaches). The extra
+     * handler cycles accumulate in lastRecoveryStress() for the engine
+     * to fold into the recovery work block.
+     */
+    void attachFaults(fault::FaultPlan *plan) { faults_ = plan; }
+
+    /** Fault-injected stress cycles of the last takeForRecovery. */
+    Cycle lastRecoveryStress() const { return last_stress_; }
+
     void clear();
 
   private:
@@ -103,6 +118,8 @@ class UndoLog
     std::size_t liveEntries_ = 0;
     std::size_t peak_ = 0;
     std::uint64_t appends_ = 0;
+    fault::FaultPlan *faults_ = nullptr;
+    Cycle last_stress_ = 0;
 };
 
 } // namespace tlsim::mem

@@ -1,5 +1,6 @@
 #include "noc/crossbar.hpp"
 
+#include "common/fault.hpp"
 #include "common/log.hpp"
 #include "common/trace.hpp"
 
@@ -20,6 +21,8 @@ Crossbar::traverse(Cycle when, NodeId src, NodeId dst, MsgClass cls)
     TLSIM_TRACE_EVENT_AT(when, trace::Kind::NocSend, src,
                          unsigned(cls), dst, 1);
     Cycle delay = ports_[dst].acquire(when, msgOccupancy(cls));
+    if (faults_ != nullptr)
+        delay += faults_->nocLinkFault(ports_[dst], when + delay);
     TLSIM_TRACE_EVENT_AT(when + delay + msgOccupancy(cls),
                          trace::Kind::NocDeliver, src, unsigned(cls),
                          dst, delay);

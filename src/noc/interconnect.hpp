@@ -11,6 +11,10 @@
 
 #include "common/types.hpp"
 
+namespace tlsim::fault {
+class FaultPlan;
+} // namespace tlsim::fault
+
 namespace tlsim::noc {
 
 /** Node index inside an interconnect (processors/banks). */
@@ -55,8 +59,16 @@ class Interconnect
     /** Total messages injected since reset. */
     std::uint64_t messages() const { return messages_; }
 
+    /**
+     * Attach a fault plan consulted on every hop (nullptr detaches).
+     * The caller keeps ownership and must outlive the interconnect's
+     * use of it; the engine attaches its own plan at construction.
+     */
+    void attachFaults(fault::FaultPlan *plan) { faults_ = plan; }
+
   protected:
     std::uint64_t messages_ = 0;
+    fault::FaultPlan *faults_ = nullptr;
 };
 
 /** Serialization occupancy (cycles) of one message on a link. */

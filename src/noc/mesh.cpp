@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 
+#include "common/fault.hpp"
 #include "common/log.hpp"
 #include "common/trace.hpp"
 
@@ -59,6 +60,8 @@ Mesh2D::traverse(Cycle when, NodeId src, NodeId dst, MsgClass cls)
     while (colOf(cur) != colOf(dst)) {
         int dir = colOf(dst) > colOf(cur) ? kEast : kWest;
         Cycle d = link(cur, dir).acquire(t, occ);
+        if (faults_ != nullptr)
+            d += faults_->nocLinkFault(link(cur, dir), t + d);
         delay += d;
         t += d + occ;
         cur = dir == kEast ? cur + 1 : cur - 1;
@@ -66,6 +69,8 @@ Mesh2D::traverse(Cycle when, NodeId src, NodeId dst, MsgClass cls)
     while (rowOf(cur) != rowOf(dst)) {
         int dir = rowOf(dst) > rowOf(cur) ? kSouth : kNorth;
         Cycle d = link(cur, dir).acquire(t, occ);
+        if (faults_ != nullptr)
+            d += faults_->nocLinkFault(link(cur, dir), t + d);
         delay += d;
         t += d + occ;
         cur = dir == kSouth ? cur + cols_ : cur - cols_;

@@ -28,12 +28,20 @@ AppStudy::busyShare(std::size_t idx) const
 
 tls::RunResult
 runScheme(const apps::AppParams &app, const tls::SchemeConfig &scheme,
-          const mem::MachineParams &machine)
+          const mem::MachineParams &machine,
+          const fault::FaultSpec &faults)
 {
     apps::LoopWorkload workload(app);
     tls::EngineConfig cfg;
     cfg.scheme = scheme;
     cfg.machine = machine;
+    cfg.faults = faults;
+    if (faults.anyEnabled()) {
+        // Identity-hash discipline (see derivePointSeed): the plan's
+        // streams depend only on (spec seed, workload seed), never on
+        // sweep order or thread count.
+        cfg.faults.seed = fault::deriveFaultSeed(faults.seed, app.seed);
+    }
     tls::SpeculationEngine engine(cfg, workload);
     return engine.run();
 }
@@ -75,11 +83,12 @@ namespace {
 /** Replication 0..reps-1 of one (app, scheme) point. */
 tls::RunResult
 runReplication(const apps::AppParams &app, const tls::SchemeConfig &scheme,
-               const mem::MachineParams &machine, unsigned rep)
+               const mem::MachineParams &machine, unsigned rep,
+               const fault::FaultSpec &faults)
 {
     apps::AppParams varied = app;
     varied.seed = derivePointSeed(app.seed, app.name, scheme, rep);
-    return runScheme(varied, scheme, machine);
+    return runScheme(varied, scheme, machine, faults);
 }
 
 /**
@@ -112,7 +121,7 @@ std::vector<AppStudy>
 runStudySweep(const std::vector<apps::AppParams> &apps,
               const std::vector<tls::SchemeConfig> &schemes,
               const mem::MachineParams &machine, unsigned replications,
-              unsigned threads)
+              unsigned threads, const fault::FaultSpec &faults)
 {
     const unsigned reps = std::max(1u, replications);
     const std::size_t n_apps = apps.size();
@@ -150,8 +159,8 @@ runStudySweep(const std::vector<apps::AppParams> &apps,
                         trace::streamId(apps[a].name, machine.name,
                                         sweep_ordinal),
                         std::uint8_t(rep));
-                    runs[slot] =
-                        runReplication(apps[a], schemes[s], machine, rep);
+                    runs[slot] = runReplication(apps[a], schemes[s],
+                                                machine, rep, faults);
                 });
             }
         }
@@ -182,10 +191,10 @@ AppStudy
 runAppStudy(const apps::AppParams &app,
             const std::vector<tls::SchemeConfig> &schemes,
             const mem::MachineParams &machine, unsigned replications,
-            unsigned threads)
+            unsigned threads, const fault::FaultSpec &faults)
 {
-    return runStudySweep({app}, schemes, machine, replications,
-                         threads)[0];
+    return runStudySweep({app}, schemes, machine, replications, threads,
+                         faults)[0];
 }
 
 std::string

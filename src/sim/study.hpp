@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "apps/app_suite.hpp"
+#include "common/fault.hpp"
 #include "mem/machine_params.hpp"
 #include "tls/engine.hpp"
 #include "tls/run_result.hpp"
@@ -56,10 +57,17 @@ struct AppStudy {
     double busyShare(std::size_t idx) const;
 };
 
-/** Simulate one (app, scheme, machine) point. */
+/**
+ * Simulate one (app, scheme, machine) point.
+ * @param faults optional fault schedule; its seed is mixed with the
+ *        app's workload seed (deriveFaultSeed), so the fault draw is a
+ *        pure function of (spec, point) and a faulted run pairs with
+ *        the fault-free run of the same app seed.
+ */
 tls::RunResult runScheme(const apps::AppParams &app,
                          const tls::SchemeConfig &scheme,
-                         const mem::MachineParams &machine);
+                         const mem::MachineParams &machine,
+                         const fault::FaultSpec &faults = {});
 
 /** Simulate the sequential baseline (Tseq of the loop). */
 tls::RunResult runSequential(const apps::AppParams &app,
@@ -96,7 +104,8 @@ std::uint64_t derivePointSeed(std::uint64_t base_seed,
 AppStudy runAppStudy(const apps::AppParams &app,
                      const std::vector<tls::SchemeConfig> &schemes,
                      const mem::MachineParams &machine,
-                     unsigned replications = 1, unsigned threads = 0);
+                     unsigned replications = 1, unsigned threads = 0,
+                     const fault::FaultSpec &faults = {});
 
 /**
  * Run a whole figure sweep: every app under every scheme, plus each
@@ -111,7 +120,8 @@ std::vector<AppStudy>
 runStudySweep(const std::vector<apps::AppParams> &apps,
               const std::vector<tls::SchemeConfig> &schemes,
               const mem::MachineParams &machine,
-              unsigned replications = 1, unsigned threads = 0);
+              unsigned replications = 1, unsigned threads = 0,
+              const fault::FaultSpec &faults = {});
 
 /**
  * Render a figure-9/10/11-style table: one row per (app, scheme) with

@@ -104,6 +104,25 @@ SpeculationEngine::SpeculationEngine(const EngineConfig &cfg,
     }
     overflow_.resize(m.numProcs);
     logs_.resize(m.numProcs);
+
+    // Fault injection: the plan is engine-local (one RNG set per run,
+    // never shared across sweep threads) and each component is only
+    // attached when its site can actually fire, so an inert spec adds
+    // nothing but one dead branch per hook.
+    if (!cfg_.sequential && cfg_.faults.anyEnabled()) {
+        faults_ = fault::FaultPlan(cfg_.faults);
+        if (faults_.nocActive())
+            net_->attachFaults(&faults_);
+        if (std::size_t cap = faults_.overflowFaultCapacity()) {
+            for (auto &area : overflow_)
+                area.setFaultCapacity(cap);
+        }
+        if (cfg_.faults.undoStressProb > 0.0) {
+            for (auto &log : logs_)
+                log.attachFaults(&faults_);
+        }
+    }
+
     uncommittedFinished_.assign(m.numProcs, 0);
     procInRecovery_.assign(m.numProcs, false);
     recoveryOutstanding_.assign(m.numProcs, 0);
@@ -325,6 +344,14 @@ SpeculationEngine::maybeCommit()
         eq_.scheduleIn(cfg_.machine.tokenPassCycles,
                        [this, id]() { finishCommit(id); });
     }
+
+    // Fault injection: a violation lands while the token is held (the
+    // squash-during-commit corner). The committing task itself is past
+    // the speculative states and survives; every later speculative
+    // task restarts while the commit machinery is still in flight.
+    if (faults_.active() && id < workload_.numTasks() &&
+        faults_.commitTokenSquash())
+        performSquash(id + 1, rec(id).proc);
 }
 
 Cycle
@@ -764,16 +791,17 @@ SpeculationEngine::runRecoveryQueue()
     // below.
     for (const mem::UndoLogEntry &e : entries) {
         mtid_.set(e.line, e.oldVersion);
-        if (VersionInfo *old = versions_.memoryHolder(e.line)) {
-            old->inMemory = false;
-        }
-        if (VersionInfo *v = versions_.find(e.line, e.oldVersion)) {
+        VersionInfo *v = versions_.find(e.line, e.oldVersion);
+        stealMemoryHolder(e.line, v, proc);
+        if (v)
             v->inMemory = true;
-        }
     }
 
-    Cycle dur = 100 + Cycle(entries.size()) *
-                          cfg_.machine.recoveryPerLogEntry;
+    // lastRecoveryStress is zero unless a fault plan is attached to
+    // the log (recovery-path stress: slow log-region reads).
+    Cycle dur = 100 +
+                Cycle(entries.size()) * cfg_.machine.recoveryPerLogEntry +
+                logs_[proc].lastRecoveryStress();
     core.startWorkBlock(dur, CycleKind::RecoveryWork,
                         [this, proc, id]() {
         scheduler_.requeue(id);
@@ -792,6 +820,39 @@ SpeculationEngine::collectResult()
 {
     RunResult res;
     res.execTime = sectionEnd_;
+
+    // Final-memory fingerprint (fault-injection oracle): fold the
+    // latest committed version of every tracked line, in line order.
+    // Producer and write mask are functions of the workload alone —
+    // a squashed-and-replayed task recommits identical data — so any
+    // divergence here means a fault corrupted state instead of only
+    // costing time. Incarnations are excluded for the same reason.
+    {
+        auto fold = [](std::uint64_t h, std::uint64_t v) {
+            std::uint64_t s = h ^ v;
+            return splitmix64(s);
+        };
+        std::vector<Addr> lines;
+        lines.reserve(versions_.linesTracked());
+        versions_.forEach(
+            [&](Addr line, VersionInfo &) { lines.push_back(line); });
+        std::sort(lines.begin(), lines.end());
+        lines.erase(std::unique(lines.begin(), lines.end()),
+                    lines.end());
+        std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+        for (Addr line : lines) {
+            VersionInfo *v = versions_.latestCommitted(line);
+            if (v == nullptr)
+                continue;
+            h = fold(h, line);
+            h = fold(h, v->tag.producer);
+            h = fold(h, v->writeMask);
+            ++res.memStateLines;
+        }
+        res.memStateHash = h;
+    }
+    res.faults = faults_.counters();
+
     for (auto &core : cores_) {
         res.perProc.push_back(core->breakdown());
         res.total += core->breakdown();

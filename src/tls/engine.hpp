@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/event_queue.hpp"
+#include "common/fault.hpp"
 #include "common/stats.hpp"
 #include "cpu/core.hpp"
 #include "cpu/mem_if.hpp"
@@ -44,6 +45,13 @@ struct EngineConfig {
      * machinery, all data homed locally (the paper's Tseq).
      */
     bool sequential = false;
+    /**
+     * Fault-injection schedule (inert by default). The seed must
+     * already be point-mixed (deriveFaultSeed) by the caller when the
+     * run is part of a sweep. Ignored in sequential mode — the
+     * baseline has no speculation machinery to stress.
+     */
+    fault::FaultSpec faults;
 };
 
 /**
@@ -91,6 +99,9 @@ class SpeculationEngine : public cpu::SpecMemoryIf,
     Workload &workload_;
 
     EventQueue eq_;
+
+    /** Fault injector (inert unless cfg_.faults enables a site). */
+    fault::FaultPlan faults_;
 
     // --- machine fabric ---
     std::unique_ptr<noc::Interconnect> net_;
@@ -235,8 +246,28 @@ class SpeculationEngine : public cpu::SpecMemoryIf,
     void insertLineL1(ProcId proc, Addr line, mem::VersionTag tag,
                       Cycle now);
 
+    /**
+     * FMM: take the in-memory slot of @p line away from its current
+     * holder (a write-back by @p proc is about to overwrite it). If
+     * losing the slot would leave the old holder with no location at
+     * all, it is parked in @p proc's MHB — the hardware saves the
+     * displaced version to the history buffer before the overwrite
+     * (paper Figure 7-c) — so later fetches retrieve it from there.
+     * @p winner (the version taking the slot) is never demoted.
+     */
+    void stealMemoryHolder(Addr line, const VersionInfo *winner,
+                           ProcId proc);
+
     cpu::LoadReply seqLoad(ProcId proc, Addr addr, Cycle now);
     cpu::StoreReply seqStore(ProcId proc, Addr addr, Cycle now);
+
+    /**
+     * Fault injection: displace the just-created version @p tag of
+     * @p line out of proc's L2 immediately (forced capacity pressure).
+     * @return extra foreground cycles charged to the store.
+     */
+    Cycle faultSpillVersion(ProcId proc, Addr line, mem::VersionTag tag,
+                            Cycle now);
 
     RunResult collectResult();
 };

@@ -6,6 +6,8 @@
  */
 
 #include <algorithm>
+#include <cstdio>
+#include <string>
 
 #include "common/log.hpp"
 #include "common/trace.hpp"
@@ -49,6 +51,27 @@ SpeculationEngine::backgroundWriteBack(ProcId proc, Addr line, Cycle when)
     t += memBanks_.access(home, when);
     return t;
 }
+
+namespace {
+
+/** Diagnostic string for location-invariant panics. */
+std::string
+describeVersion(const VersionInfo *v)
+{
+    if (!v)
+        return "(null)";
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "producer=%llu inc=%u committed=%d inMemory=%d "
+                  "cacheOwner=%d inOverflow=%d inMhb=%d mhbProc=%d",
+                  (unsigned long long)v->tag.producer,
+                  v->tag.incarnation, int(v->committed), int(v->inMemory),
+                  int(v->cacheOwner), int(v->inOverflow), int(v->inMhb),
+                  int(v->mhbProc));
+    return buf;
+}
+
+} // namespace
 
 Cycle
 SpeculationEngine::fetchLatency(ProcId proc, Addr line, VersionInfo *v,
@@ -114,7 +137,8 @@ SpeculationEngine::fetchLatency(ProcId proc, Addr line, VersionInfo *v,
             src = Source::Mhb;
             counters_.inc(sid_.mhbFetches);
         } else {
-            panic("fetchLatency: unreachable version");
+            panic("fetchLatency: unreachable version (numa): " +
+                  describeVersion(v));
         }
     } else { // CMP
         if (!v || v->inMemory) {
@@ -168,7 +192,8 @@ SpeculationEngine::fetchLatency(ProcId proc, Addr line, VersionInfo *v,
             src = Source::Mhb;
             counters_.inc(sid_.mhbFetches);
         } else {
-            panic("fetchLatency: unreachable version");
+            panic("fetchLatency: unreachable version (cmp): " +
+                  describeVersion(v));
         }
     }
 
@@ -247,8 +272,7 @@ SpeculationEngine::handleL2Eviction(ProcId proc,
                     TLSIM_TRACE_EVENT(trace::Kind::VersionMerge, proc,
                                       victim.version.producer, line,
                                       victim.version.incarnation);
-                if (VersionInfo *old = versions_.memoryHolder(line))
-                    old->inMemory = false;
+                stealMemoryHolder(line, v, proc);
                 mtid_.writeBack(line, victim.version);
                 backgroundWriteBack(proc, line, now);
                 if (v) {
@@ -282,8 +306,7 @@ SpeculationEngine::handleL2Eviction(ProcId proc,
             TLSIM_TRACE_EVENT(trace::Kind::VersionMerge, proc,
                               victim.version.producer, line,
                               victim.version.incarnation);
-            if (VersionInfo *old = versions_.memoryHolder(line))
-                old->inMemory = false;
+            stealMemoryHolder(line, v, proc);
             mtid_.writeBack(line, victim.version);
             backgroundWriteBack(proc, line, now);
             v->inMemory = true;
@@ -298,6 +321,40 @@ SpeculationEngine::handleL2Eviction(ProcId proc,
             v->inOverflow = true;
             counters_.inc(sid_.mtidRejectedSpills);
         }
+    }
+}
+
+Cycle
+SpeculationEngine::faultSpillVersion(ProcId proc, Addr line,
+                                     VersionTag tag, Cycle now)
+{
+    CacheLineState *f2 = l2_[proc]->findVersion(line, tag);
+    if (!f2 || !f2->speculative || !f2->dirty)
+        return 0; // allocation failed or already displaced: nothing to do
+    CacheLineState victim = *f2;
+    l2_[proc]->invalidateVersion(line, tag);
+    handleL2Eviction(proc, victim, now);
+    // The controller finishes the spill before the store retires,
+    // same foreground cost as a displacement-triggered spill.
+    return cfg_.machine.overflowCheckCycles;
+}
+
+void
+SpeculationEngine::stealMemoryHolder(Addr line, const VersionInfo *winner,
+                                     ProcId proc)
+{
+    VersionInfo *old = versions_.memoryHolder(line);
+    if (!old || old == winner)
+        return;
+    old->inMemory = false;
+    if (old->cacheOwner == kNoProc && !old->inOverflow && !old->inMhb) {
+        // Memory was the holder's only copy. The FMM hardware saves
+        // the displaced version into the local history buffer before
+        // the overwrite reaches memory; without this, an uncommitted
+        // (or still-needed committed) version would become
+        // unreachable the moment a later write-back lands.
+        old->inMhb = true;
+        old->mhbProc = proc;
     }
 }
 
@@ -416,6 +473,8 @@ SpeculationEngine::specLoad(ProcId proc, Addr addr, Cycle now)
         // consult the overflow-area tables in local memory.
         if (cfg_.scheme.isAmm() && overflow_[proc].size() > 0) {
             lat += m.overflowCheckCycles;
+            if (overflow_[proc].faultPressured())
+                lat += faults_.overflowPressurePenalty();
             memBanks_.access(proc % m.numBanks, now);
             counters_.inc(sid_.overflowChecks);
         }
@@ -477,6 +536,14 @@ SpeculationEngine::specStore(ProcId proc, Addr addr, Cycle now)
     // Out-of-order RAW detection: the store's invalidation/update
     // reaches the directory and squashes any premature readers.
     TaskId victim = detector_.checkWrite(word, task);
+    if (victim == kNoTask && faults_.active() &&
+        task < workload_.numTasks() && faults_.spuriousViolation()) {
+        // Fault injection: the directory raises a violation nobody
+        // earned. Successors restart exactly as for a real one — the
+        // storing task itself is never the victim (a task cannot
+        // squash itself on its own store).
+        victim = task + 1;
+    }
     if (victim != kNoTask)
         performSquash(victim, proc);
 
@@ -519,6 +586,8 @@ SpeculationEngine::specStore(ProcId proc, Addr addr, Cycle now)
             // Bring the spilled version back into the L2.
             lat = m.latLocalMem +
                   memBanks_.access(proc % m.numBanks, now);
+            if (overflow_[proc].faultPressured())
+                lat += faults_.overflowPressurePenalty();
             overflow_[proc].remove(line, my_tag);
             own->inOverflow = false;
             counters_.inc(sid_.overflowRefetches);
@@ -530,8 +599,9 @@ SpeculationEngine::specStore(ProcId proc, Addr addr, Cycle now)
             cl.writeMask = own->writeMask;
             insertLineL2(proc, cl, now, nullptr);
             insertLineL1(proc, line, my_tag, now);
-        } else if (own->inMemory) {
-            // FMM: our version was displaced to main memory; refetch.
+        } else if (own->inMemory || own->inMhb) {
+            // FMM: our version was displaced to main memory (or parked
+            // in a history buffer by a later write-back); refetch.
             Source src;
             lat = fetchLatency(proc, line, own, now, &src);
             own = versions_.find(line, my_tag);
@@ -546,7 +616,8 @@ SpeculationEngine::specStore(ProcId proc, Addr addr, Cycle now)
             insertLineL1(proc, line, my_tag, now);
             counters_.inc(sid_.fmmRefetches);
         } else {
-            panic("specStore: own version unreachable");
+            panic("specStore: own version unreachable: " +
+                  describeVersion(own));
         }
         note_write();
         return {lat, cpu::StoreStall::None, 0};
@@ -632,6 +703,8 @@ SpeculationEngine::specStore(ProcId proc, Addr addr, Cycle now)
         // The new version's line address must be checked against the
         // overflow-area tables.
         lat += m.overflowCheckCycles;
+        if (overflow_[proc].faultPressured())
+            lat += faults_.overflowPressurePenalty();
         memBanks_.access(proc % m.numBanks, now);
         counters_.inc(sid_.overflowChecks);
     }
@@ -656,6 +729,13 @@ SpeculationEngine::specStore(ProcId proc, Addr addr, Cycle now)
         lat += insertLineL2(proc, cl, now, nullptr);
         insertLineL1(proc, line, my_tag, now);
         counters_.inc(sid_.versionsCreated);
+        // Fault injection: forced capacity pressure — displace the
+        // fresh version immediately through the regular eviction path
+        // (overflow spill under AMM, MTID-guarded write-back under
+        // FMM). Skipped in the no-overflow-area ablation, where a
+        // displaced speculative line has nowhere to go but a stall.
+        if (faults_.active() && !pin && faults_.forceSpill())
+            lat += faultSpillVersion(proc, line, my_tag, now);
     }
     return {lat, cpu::StoreStall::None, extra_instrs};
 }

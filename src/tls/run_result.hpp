@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/fault.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
 
@@ -59,6 +60,22 @@ struct RunResult {
     double commitExecRatio = 0.0;
 
     std::vector<TaskTimeline> timelines;
+
+    /**
+     * Order-independent fingerprint of the final committed memory
+     * state: a hash over (line, producer, write mask) of the latest
+     * committed version of every tracked line, swept in line order.
+     * Incarnations are deliberately excluded — a squashed-and-replayed
+     * task commits the same data under a higher incarnation. This is
+     * the fault-injection correctness oracle: a faulted run must match
+     * the fault-free run of the same workload seed exactly.
+     */
+    std::uint64_t memStateHash = 0;
+    /** Number of lines folded into memStateHash. */
+    std::uint64_t memStateLines = 0;
+
+    /** Injection tallies (all zero unless a fault plan was active). */
+    fault::FaultCounters faults;
 
     /** Busy fraction of the machine (paper's bar bottoms). */
     double

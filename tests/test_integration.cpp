@@ -101,12 +101,15 @@ TEST_P(LatticeTest, RunCompletesAndInvariantsHold)
     }
 
     // Scheme-specific invariants.
-    if (pt.scheme.separation == tls::Separation::MultiTMV)
+    if (pt.scheme.separation == tls::Separation::MultiTMV) {
         EXPECT_EQ(res.total.get(CycleKind::VersionStall), 0u);
-    if (pt.scheme.merging != tls::Merging::FMM)
+    }
+    if (pt.scheme.merging != tls::Merging::FMM) {
         EXPECT_EQ(res.counters.get("log_appends"), 0u);
-    if (!pt.scheme.softwareLog)
+    }
+    if (!pt.scheme.softwareLog) {
         EXPECT_EQ(res.total.get(CycleKind::LogOverhead), 0u);
+    }
     if (pt.scheme.merging == tls::Merging::EagerAMM &&
         res.squashEvents == 0) {
         EXPECT_EQ(res.counters.get("eager_writebacks") > 0,
