@@ -297,6 +297,84 @@ main(int argc, char **argv)
                       injected, round_state_ok ? "match" : "DIVERGED"});
     }
 
+    // Synthetic-workload phase: one generated stream per kind on each
+    // machine class, faulted vs clean, against the same three oracles.
+    // Streams are a pure function of (spec, seed), so this also soaks
+    // the generator itself: a nondeterministic stream shows up as a
+    // faulted-vs-clean memStateHash divergence.
+    {
+        const unsigned synth_tasks = short_mode ? 24 : 48;
+        const unsigned synth_fp = short_mode ? 96 : 192;
+        std::uint64_t synth_seed = seed;
+        const std::vector<apps::SynthSpec> specs = apps::synthSuite(
+            synth_tasks, synth_fp, splitmix64(synth_seed));
+        const fault::FaultSpec spec = fixed_spec.anyEnabled()
+                                          ? fixed_spec
+                                          : drawSchedule(master);
+        const std::vector<mem::MachineParams> synth_machines = {
+            mem::MachineParams::mesh(64), mem::MachineParams::cmp32()};
+        for (const mem::MachineParams &machine : synth_machines) {
+            std::vector<sim::SynthStudy> faulted = sim::runSynthSweep(
+                specs, schemes, machine, threads, spec);
+            std::vector<sim::SynthStudy> clean = sim::runSynthSweep(
+                specs, schemes, machine, threads, {});
+
+            unsigned phase_points = 0;
+            fault::FaultCounters phase_injected;
+            bool phase_state_ok = true;
+            for (std::size_t a = 0; a < specs.size(); ++a) {
+                for (std::size_t s = 0; s < schemes.size(); ++s) {
+                    const tls::RunResult &f =
+                        faulted[a].outcomes[s].result;
+                    const tls::RunResult &c =
+                        clean[a].outcomes[s].result;
+                    ++tally.points;
+                    ++phase_points;
+                    if (f.committedTasks != specs[a].tasks ||
+                        c.committedTasks != specs[a].tasks) {
+                        ++tally.completionFailures;
+                        std::fprintf(
+                            stderr,
+                            "soak: synth %s/%s/%s committed %llu/%u "
+                            "tasks\n",
+                            machine.name.c_str(),
+                            specs[a].name().c_str(),
+                            schemes[s].name().c_str(),
+                            (unsigned long long)f.committedTasks,
+                            specs[a].tasks);
+                    }
+                    if (f.memStateHash != c.memStateHash ||
+                        f.memStateLines != c.memStateLines) {
+                        ++tally.stateMismatches;
+                        phase_state_ok = false;
+                        std::fprintf(
+                            stderr,
+                            "soak: synth %s/%s/%s memory-state "
+                            "divergence\n  spec: %s\n  schedule: %s\n",
+                            machine.name.c_str(),
+                            specs[a].name().c_str(),
+                            schemes[s].name().c_str(),
+                            specs[a].canonical().c_str(),
+                            spec.canonical().c_str());
+                    }
+                    tally.fold(f.faults);
+                    phase_injected.spuriousSquashes +=
+                        f.faults.spuriousSquashes;
+                    phase_injected.commitSquashes +=
+                        f.faults.commitSquashes;
+                }
+            }
+            char injected[96];
+            std::snprintf(
+                injected, sizeof(injected), "sq %llu+%llu",
+                (unsigned long long)phase_injected.spuriousSquashes,
+                (unsigned long long)phase_injected.commitSquashes);
+            table.addRow({"synth", machine.name, spec.canonical(),
+                          std::to_string(phase_points), injected,
+                          phase_state_ok ? "match" : "DIVERGED"});
+        }
+    }
+
     std::fputs(table.render().c_str(), stdout);
 
     // The soak must actually have exercised every fault site: a soak

@@ -1,0 +1,526 @@
+#include "apps/synth_workload.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "common/log.hpp"
+#include "common/rng.hpp"
+#include "mem/geometry.hpp"
+
+namespace tlsim::apps {
+
+using cpu::Op;
+
+const char *
+synthKindName(SynthKind k)
+{
+    switch (k) {
+    case SynthKind::PtrChase:
+        return "ptrchase";
+    case SynthKind::Reduce:
+        return "reduce";
+    case SynthKind::Graph:
+        return "graph";
+    case SynthKind::SquashStorm:
+        return "squashstorm";
+    }
+    return "?";
+}
+
+std::string
+SynthSpec::name() const
+{
+    return std::string("synth-") + synthKindName(kind);
+}
+
+namespace {
+
+bool
+parseU64(std::string_view text, std::uint64_t *out)
+{
+    std::uint64_t v = 0;
+    auto res = std::from_chars(text.data(), text.data() + text.size(), v);
+    if (res.ec != std::errc() || res.ptr != text.data() + text.size())
+        return false;
+    *out = v;
+    return true;
+}
+
+bool
+parseProb(std::string_view text, double *out)
+{
+    double v = 0.0;
+    auto res = std::from_chars(text.data(), text.data() + text.size(), v);
+    if (res.ec != std::errc() || res.ptr != text.data() + text.size())
+        return false;
+    if (!(v >= 0.0 && v <= 1.0))
+        return false;
+    *out = v;
+    return true;
+}
+
+bool
+fail(std::string *err, std::string_view item, const char *why)
+{
+    if (err != nullptr) {
+        *err = "bad synth spec item '";
+        err->append(item);
+        err->append("': ");
+        err->append(why);
+    }
+    return false;
+}
+
+/** Shortest round-trip rendering of a double (via to_chars). */
+std::string
+renderDouble(double v)
+{
+    char buf[40];
+    auto res = std::to_chars(buf, buf + sizeof(buf), v);
+    return std::string(buf, res.ptr);
+}
+
+/** Smallest power of two >= n (n >= 1). */
+std::uint64_t
+ceilPow2(std::uint64_t n)
+{
+    std::uint64_t p = 1;
+    while (p < n)
+        p <<= 1;
+    return p;
+}
+
+/**
+ * Spread @p total_instrs of compute across @p mem_ops, same discipline
+ * as LoopWorkload: one gap before each memory op plus a tail gap, the
+ * remainder distributed to the leading gaps.
+ */
+std::vector<Op>
+withComputeGaps(const std::vector<Op> &mem_ops,
+                std::uint64_t total_instrs)
+{
+    std::vector<Op> ops;
+    ops.reserve(2 * mem_ops.size() + 2);
+    std::size_t gaps = mem_ops.size() + 1;
+    std::uint64_t base_gap = total_instrs / gaps;
+    std::uint64_t remainder = total_instrs % gaps;
+    for (std::size_t i = 0; i < mem_ops.size(); ++i) {
+        std::uint64_t instr = base_gap + (i < remainder ? 1 : 0);
+        if (instr > 0)
+            ops.push_back(Op::compute(std::uint32_t(
+                std::min<std::uint64_t>(instr, 0xffff'ffffULL))));
+        ops.push_back(mem_ops[i]);
+    }
+    if (base_gap > 0)
+        ops.push_back(Op::compute(std::uint32_t(
+            std::min<std::uint64_t>(base_gap, 0xffff'ffffULL))));
+    return ops;
+}
+
+} // namespace
+
+bool
+SynthSpec::parse(std::string_view spec, SynthSpec *out, std::string *err)
+{
+    SynthSpec parsed;
+    bool have_kind = false;
+    std::string_view rest = spec;
+    while (!rest.empty()) {
+        std::size_t comma = rest.find(',');
+        std::string_view item = rest.substr(0, comma);
+        rest = comma == std::string_view::npos ? std::string_view{}
+                                               : rest.substr(comma + 1);
+        if (item.empty())
+            continue;
+
+        std::size_t eq = item.find('=');
+        if (eq == std::string_view::npos)
+            return fail(err, item, "expected key=value");
+        std::string_view key = item.substr(0, eq);
+        std::string_view val = item.substr(eq + 1);
+
+        std::uint64_t u = 0;
+        if (key == "kind") {
+            have_kind = true;
+            if (val == "ptrchase")
+                parsed.kind = SynthKind::PtrChase;
+            else if (val == "reduce")
+                parsed.kind = SynthKind::Reduce;
+            else if (val == "graph")
+                parsed.kind = SynthKind::Graph;
+            else if (val == "squashstorm")
+                parsed.kind = SynthKind::SquashStorm;
+            else
+                return fail(err, item,
+                            "kind=ptrchase|reduce|graph|squashstorm");
+        } else if (key == "tasks") {
+            if (!parseU64(val, &u) || u == 0 || u > 1'000'000)
+                return fail(err, item, "tasks=N, 1 <= N <= 1e6");
+            parsed.tasks = unsigned(u);
+        } else if (key == "footprint") {
+            if (!parseU64(val, &u) || u == 0 || u > 4'000'000)
+                return fail(err, item, "footprint=K words, K >= 1");
+            parsed.footprint = unsigned(u);
+        } else if (key == "conflict") {
+            if (!parseProb(val, &parsed.conflict))
+                return fail(err, item, "conflict=P, P in [0,1]");
+        } else if (key == "stride") {
+            if (!parseU64(val, &u) || u == 0 || u > 4096)
+                return fail(err, item, "stride=S words, 1 <= S <= 4096");
+            parsed.stride = unsigned(u);
+        } else if (key == "instr") {
+            if (!parseU64(val, &u) || u > 0xffff'ffffULL)
+                return fail(err, item, "instr=N");
+            parsed.instr = unsigned(u);
+        } else if (key == "tpi") {
+            if (!parseU64(val, &u))
+                return fail(err, item, "tpi=N");
+            parsed.tasksPerInvocation = unsigned(u);
+        } else if (key == "seed") {
+            if (!parseU64(val, &parsed.seed))
+                return fail(err, item, "seed=N");
+        } else {
+            return fail(err, item, "unknown key");
+        }
+    }
+    if (!have_kind)
+        return fail(err, spec, "kind= is mandatory");
+    *out = parsed;
+    return true;
+}
+
+std::string
+SynthSpec::canonical() const
+{
+    char num[96];
+    std::string s = "kind=";
+    s += synthKindName(kind);
+    std::snprintf(num, sizeof(num),
+                  ",tasks=%u,footprint=%u,conflict=", tasks, footprint);
+    s += num;
+    s += renderDouble(conflict);
+    std::snprintf(num, sizeof(num),
+                  ",stride=%u,instr=%u,tpi=%u,seed=%llu", stride, instr,
+                  tasksPerInvocation,
+                  static_cast<unsigned long long>(seed));
+    s += num;
+    return s;
+}
+
+SynthWorkload::SynthWorkload(SynthSpec spec) : spec_(spec)
+{
+    if (spec_.tasks == 0)
+        fatal("SynthWorkload: tasks must be >= 1");
+
+    if (spec_.kind == SynthKind::PtrChase) {
+        // Full-period LCG over a power-of-two table: with modulus 2^k,
+        // period 2^k requires add odd and mul ≡ 1 (mod 4) — we force
+        // mul ≡ 5 (mod 8) for better spectral behavior. The successor
+        // function then visits every slot exactly once before
+        // returning: a single cycle by construction.
+        chaseWords_ =
+            ceilPow2(std::uint64_t(spec_.tasks) * spec_.footprint);
+        std::uint64_t sm = spec_.seed ^ 0xc4a5eULL;
+        chaseMul_ = (splitmix64(sm) & ~std::uint64_t(7)) | 5;
+        chaseAdd_ = splitmix64(sm) | 1;
+
+        // Walk the cycle once, recording each task's segment start:
+        // task t owns cycle positions [(t-1)*footprint, t*footprint).
+        chaseStarts_.resize(spec_.tasks);
+        std::uint64_t x = splitmix64(sm) & (chaseWords_ - 1);
+        std::uint64_t owned =
+            std::uint64_t(spec_.tasks) * spec_.footprint;
+        for (std::uint64_t pos = 0; pos < owned; ++pos) {
+            if (pos % spec_.footprint == 0)
+                chaseStarts_[pos / spec_.footprint] = x;
+            x = chaseNext(x);
+        }
+    }
+}
+
+std::uint64_t
+SynthWorkload::chaseNext(std::uint64_t x) const
+{
+    return (chaseMul_ * x + chaseAdd_) & (chaseWords_ - 1);
+}
+
+std::uint64_t
+SynthWorkload::chaseSegmentStart(TaskId task) const
+{
+    return chaseStarts_.at(task - 1);
+}
+
+bool
+SynthWorkload::isPrivAddr(Addr addr) const
+{
+    // Scratch ballast is written by every task at the same per-task
+    // slot rotation — the closest analogue of a mostly-private region.
+    return addr >= kScratchBase && addr < kScratchBase + 0x800'0000;
+}
+
+void
+SynthWorkload::buildPtrChase(TaskId task, std::vector<Op> &ops) const
+{
+    Rng rng = Rng::fork(spec_.seed ^ 0x9c5aULL, task);
+    std::uint64_t x = chaseStarts_[task - 1];
+    const Addr step = Addr(spec_.stride) * mem::kWordBytes;
+
+    for (unsigned i = 0; i < spec_.footprint; ++i) {
+        Addr addr = kChaseBase + Addr(x) * step;
+        // The chase: a dependent load of the next pointer, then an
+        // update of the node payload (every slot is read and written
+        // by its owning task).
+        ops.push_back(Op::load(addr));
+        ops.push_back(Op::store(addr));
+        if (spec_.conflict > 0.0 && rng.chance(spec_.conflict)) {
+            // Adversarial splice: rewrite a pointer inside a *later*
+            // task's segment. The successor reads every slot of its
+            // segment, so if it ran ahead this write is an
+            // out-of-order RAW and squashes it.
+            TaskId victim = task + 1 + rng.below(3);
+            if (victim <= spec_.tasks) {
+                std::uint64_t vslot = chaseStarts_[victim - 1];
+                std::uint64_t skip = rng.below(spec_.footprint);
+                for (std::uint64_t s = 0; s < skip; ++s)
+                    vslot = chaseNext(vslot);
+                ops.push_back(
+                    Op::store(kChaseBase + Addr(vslot) * step));
+            }
+        }
+        x = chaseNext(x);
+    }
+}
+
+void
+SynthWorkload::buildReduce(TaskId task, std::vector<Op> &ops) const
+{
+    Rng rng = Rng::fork(spec_.seed ^ 0x4edcULL, task);
+    const Addr step = Addr(spec_.stride) * mem::kWordBytes;
+    const std::uint64_t shared_bins = std::uint64_t(spec_.footprint) * 8;
+    const std::uint64_t priv_base =
+        shared_bins + std::uint64_t(task - 1) * spec_.footprint;
+    for (unsigned i = 0; i < spec_.footprint; ++i) {
+        std::uint64_t bin;
+        if (spec_.conflict > 0.0 && rng.chance(spec_.conflict)) {
+            // Irregular collision: any shared bin, any task.
+            bin = rng.below(shared_bins);
+        } else {
+            // Private partition: disjoint per task by construction.
+            bin = priv_base + rng.below(spec_.footprint);
+        }
+        Addr addr = kReduceBase + Addr(bin) * step;
+        // Scatter-add: read-modify-write of the bin.
+        ops.push_back(Op::load(addr));
+        ops.push_back(Op::store(addr));
+    }
+}
+
+void
+SynthWorkload::buildGraph(TaskId task, std::vector<Op> &ops) const
+{
+    Rng rng = Rng::fork(spec_.seed ^ 0x6a9fULL, task);
+    const Addr step = Addr(spec_.stride) * mem::kWordBytes;
+    const std::uint64_t src_verts = std::uint64_t(spec_.footprint) * 16;
+    const std::uint64_t hot_verts =
+        std::max<std::uint64_t>(4, spec_.footprint / 8);
+    const std::uint64_t priv_base =
+        std::uint64_t(task - 1) * spec_.footprint;
+    // Hot-vertex updates are collected separately and emitted FIRST:
+    // all cross-task stores land at the start of the body, so once a
+    // task (re)starts it finishes its dangerous writes before any
+    // restarted consumer gets far — squash storms converge instead of
+    // re-firing on every incarnation.
+    std::vector<Op> hot_ops;
+    for (unsigned i = 0; i < spec_.footprint; ++i) {
+        // Source endpoint: power-law read of a never-written vertex
+        // array (u^3 concentrates mass near index 0 — the "celebrity"
+        // vertices every edge list keeps touching).
+        double u = rng.uniform();
+        std::uint64_t src = std::uint64_t(double(src_verts) * u * u * u);
+        if (src >= src_verts)
+            src = src_verts - 1;
+        ops.push_back(Op::load(kGraphSrcBase + Addr(src) * step));
+
+        if (spec_.conflict > 0.0 && rng.chance(spec_.conflict)) {
+            // High-conflict accumulate into a hot vertex shared by
+            // every task.
+            std::uint64_t hot = rng.below(hot_verts);
+            Addr addr = kGraphHotBase + Addr(hot) * step;
+            hot_ops.push_back(Op::load(addr));
+            hot_ops.push_back(Op::store(addr));
+        } else {
+            // Private accumulation slot.
+            Addr addr = kGraphPrivBase +
+                        Addr(priv_base + rng.below(spec_.footprint)) *
+                            step;
+            ops.push_back(Op::load(addr));
+            ops.push_back(Op::store(addr));
+        }
+    }
+    ops.insert(ops.begin(), hot_ops.begin(), hot_ops.end());
+}
+
+void
+SynthWorkload::buildSquashStorm(TaskId task, std::vector<Op> &ops) const
+{
+    Rng rng = Rng::fork(spec_.seed ^ 0x570fULL, task);
+    // conflict=0 keeps the grammar's zero-violation guarantee: no
+    // early reads at all, so every task touches only its own storm
+    // word and scratch segment.
+    const unsigned depth =
+        spec_.conflict <= 0.0
+            ? 0u
+            : std::max(1u,
+                       unsigned(std::lround(spec_.conflict * 8.0)));
+    const Addr step = Addr(spec_.stride) * mem::kWordBytes;
+
+    // EARLY reads of the storm words the previous `depth` tasks write
+    // at the very END of their bodies: whenever the consumer runs
+    // ahead of a producer (almost always under concurrency), the late
+    // write is an out-of-order RAW and the consumer is squashed —
+    // re-execution re-reads, and a deeper producer can squash it
+    // again. This is the worst case for eager merging and for FMM's
+    // serialized recovery.
+    for (unsigned k = 1; k <= depth; ++k) {
+        if (task > k) {
+            std::uint64_t w = (task - k) % kStormWords;
+            ops.push_back(Op::load(kStormBase + Addr(w) * step));
+        }
+    }
+
+    // Ballast: per-task scratch writes. These give every squash a real
+    // recovery bill (versions to discard, MHB entries to replay) —
+    // without them a storm is cheap to undo and schemes converge.
+    // Capped well below the body length: FMM's recovery handler is
+    // serialized machine-wide, and a per-wavefront bill longer than a
+    // task body tips re-started consumers into a re-squash livelock.
+    const unsigned ballast =
+        std::min(spec_.footprint, std::max(8u, spec_.footprint / 4));
+    const Addr scratch =
+        kScratchBase +
+        (Addr((task - 1) % 64) * spec_.footprint) * mem::kWordBytes;
+    for (unsigned i = 0; i < ballast; ++i) {
+        Addr addr = scratch + Addr(rng.below(spec_.footprint)) *
+                                  mem::kWordBytes;
+        ops.push_back(Op::store(addr));
+    }
+
+    // LATE write that feeds successors' early reads.
+    ops.push_back(
+        Op::store(kStormBase + Addr(task % kStormWords) * step));
+}
+
+std::vector<Op>
+SynthWorkload::memOps(TaskId task) const
+{
+    if (task == 0 || task > spec_.tasks)
+        panic("SynthWorkload::memOps: bad task id");
+    std::vector<Op> ops;
+    ops.reserve(std::size_t(spec_.footprint) * 3 + 16);
+    switch (spec_.kind) {
+    case SynthKind::PtrChase:
+        buildPtrChase(task, ops);
+        break;
+    case SynthKind::Reduce:
+        buildReduce(task, ops);
+        break;
+    case SynthKind::Graph:
+        buildGraph(task, ops);
+        break;
+    case SynthKind::SquashStorm:
+        buildSquashStorm(task, ops);
+        break;
+    }
+    return ops;
+}
+
+std::unique_ptr<cpu::TaskTrace>
+SynthWorkload::makeTrace(TaskId task)
+{
+    std::vector<Op> mem_ops = memOps(task);
+
+    // Mild deterministic size variation so commit wavefronts are not
+    // perfectly synchronized (lognormal around the configured mean).
+    Rng rng = Rng::fork(spec_.seed ^ 0x51feULL, task);
+    double factor = rng.lognormalWithMean(1.0, 0.15);
+    std::uint64_t total = std::max<std::uint64_t>(
+        100, std::uint64_t(double(spec_.instr) * factor));
+
+    return std::make_unique<cpu::VectorTrace>(
+        withComputeGaps(mem_ops, total));
+}
+
+std::uint64_t
+SynthWorkload::streamChecksum() const
+{
+    // FNV-1a over (kind, instrs, addr) of every op of every task, in
+    // task order. Order-sensitive on purpose: two equal checksums mean
+    // byte-identical streams.
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    auto fold = [&h](std::uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            h = (h ^ (v & 0xff)) * 0x100000001b3ULL;
+            v >>= 8;
+        }
+    };
+    SynthWorkload &self = const_cast<SynthWorkload &>(*this);
+    for (TaskId t = 1; t <= spec_.tasks; ++t) {
+        std::unique_ptr<cpu::TaskTrace> trace = self.makeTrace(t);
+        for (Op op = trace->next(); op.kind != Op::Kind::End;
+             op = trace->next()) {
+            fold(std::uint64_t(op.kind));
+            fold(op.instrs);
+            fold(op.addr);
+        }
+    }
+    return h;
+}
+
+std::vector<SynthSpec>
+synthSuite(unsigned tasks, unsigned footprint, std::uint64_t seed)
+{
+    std::vector<SynthSpec> suite;
+    for (SynthKind kind :
+         {SynthKind::PtrChase, SynthKind::Reduce, SynthKind::Graph,
+          SynthKind::SquashStorm}) {
+        SynthSpec spec;
+        spec.kind = kind;
+        spec.tasks = tasks;
+        spec.footprint = footprint;
+        spec.seed = seed;
+        // Calibrated defaults: enough conflicts to separate schemes,
+        // few enough that every machine still makes forward progress.
+        // Every kind bounds its speculative window with an invocation
+        // barrier (tpi): FMM restarts squashed consumers before their
+        // producers and serializes a per-entry recovery handler, so an
+        // unbounded window over a cross-task conflict pattern
+        // re-squashes faster than the head task retires — a livelock,
+        // not a measurement. The window keeps the recovery bill of one
+        // wavefront comparable to a task body.
+        switch (kind) {
+        case SynthKind::PtrChase:
+            spec.conflict = 0.02;
+            spec.stride = 8; // one line per node: capacity pressure
+            spec.tasksPerInvocation = std::max(8u, tasks / 6);
+            break;
+        case SynthKind::Reduce:
+            spec.conflict = 0.05;
+            spec.tasksPerInvocation = std::max(8u, tasks / 3);
+            break;
+        case SynthKind::Graph:
+            spec.conflict = 0.15;
+            spec.tasksPerInvocation = std::max(8u, tasks / 6);
+            break;
+        case SynthKind::SquashStorm:
+            spec.conflict = 0.35; // depth-3 dependence chains
+            spec.tasksPerInvocation = std::max(8u, tasks / 6);
+            break;
+        }
+        suite.push_back(spec);
+    }
+    return suite;
+}
+
+} // namespace tlsim::apps

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Config-driven adversarial workload generator.
+ *
+ * The paper's seven calibrated loops are regular Fortran kernels; the
+ * taxonomy's interesting corners (buffer overflow, commit wavefronts,
+ * squash cascades) are reached only incidentally. SynthWorkload
+ * generates access patterns those loops cannot express — pointer
+ * chasing, irregular reductions, high-conflict graph updates and
+ * adversarial squash storms — from a small spec grammar in the style
+ * of fault::FaultSpec, so a sweep frontend can enumerate them.
+ *
+ * Determinism contract: the op stream of every task is a pure function
+ * of (spec, task id). The same spec + seed produces byte-identical
+ * streams on any thread count, any sweep order, and across squash
+ * re-executions (the engine requires replay-identical traces). The
+ * structural invariants per kind (single chase cycle, disjoint
+ * zero-conflict partitions) are unit-tested in
+ * tests/test_synth_workload.cpp.
+ */
+
+#ifndef TLSIM_APPS_SYNTH_WORKLOAD_HPP
+#define TLSIM_APPS_SYNTH_WORKLOAD_HPP
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tls/workload.hpp"
+
+namespace tlsim::apps {
+
+/** Access-pattern families of the generator. */
+enum class SynthKind : std::uint8_t {
+    PtrChase,   ///< dependent loads around a permutation cycle
+    Reduce,     ///< irregular scatter-add reduction into shared bins
+    Graph,      ///< edge updates with power-law hot vertices
+    SquashStorm ///< early-read / late-write chains (adversarial)
+};
+
+const char *synthKindName(SynthKind k);
+
+/**
+ * A parsed workload spec.
+ *
+ * Spec grammar (comma-separated `key=value`, kind mandatory):
+ *
+ *   kind=ptrchase|reduce|graph|squashstorm
+ *   tasks=N       number of speculative tasks            (default 64)
+ *   footprint=K   words touched per task                 (default 256)
+ *   conflict=P    cross-task conflict probability [0,1]  (default 0.1)
+ *                 squashstorm: dependence depth = ceil(8P)
+ *   stride=S     word stride between consecutive slots   (default 1)
+ *   instr=N      mean non-memory instructions per task   (default 4000)
+ *   tpi=N        tasks per invocation, 0 = one invocation (default 0)
+ *   seed=N       base seed of all per-task streams
+ *
+ * Example: `kind=graph,tasks=128,footprint=512,conflict=0.25`.
+ * conflict=0 is a structural guarantee, not a probability: every kind
+ * partitions its written addresses per task, so a zero-conflict run
+ * has exactly zero cross-task violations.
+ */
+struct SynthSpec {
+    SynthKind kind = SynthKind::PtrChase;
+    unsigned tasks = 64;
+    unsigned footprint = 256;
+    double conflict = 0.1;
+    unsigned stride = 1;
+    unsigned instr = 4000;
+    unsigned tasksPerInvocation = 0;
+    std::uint64_t seed = 0x5e1fULL;
+
+    /** Workload name rendered into tables: "synth-ptrchase" etc. */
+    std::string name() const;
+
+    /**
+     * Parse a spec string (grammar above). Returns false and leaves
+     * @p out untouched on error (message in @p err if given).
+     */
+    static bool parse(std::string_view spec, SynthSpec *out,
+                      std::string *err = nullptr);
+
+    /** Render every field as a spec string; parses back to *this. */
+    std::string canonical() const;
+
+    bool operator==(const SynthSpec &) const = default;
+};
+
+/**
+ * The generator: a tls::Workload whose task traces realize the spec.
+ *
+ * Address-space layout (distinct from LoopWorkload's regions):
+ *   - chase table:        [kChaseBase, ...)   ptrchase node slots
+ *   - reduction bins:     [kReduceBase, ...)  shared + per-task bins
+ *   - graph vertices:     [kGraphHotBase / kGraphSrcBase / kGraphPrivBase)
+ *   - storm words:        [kStormBase, ...)   early-read/late-write
+ *   - scratch:            [kScratchBase, ...) per-task recovery ballast
+ */
+class SynthWorkload : public tls::Workload
+{
+  public:
+    explicit SynthWorkload(SynthSpec spec);
+
+    std::string name() const override { return spec_.name(); }
+    TaskId numTasks() const override { return spec_.tasks; }
+    TaskId
+    tasksPerInvocation() const override
+    {
+        return spec_.tasksPerInvocation == 0 ? spec_.tasks
+                                             : spec_.tasksPerInvocation;
+    }
+    std::unique_ptr<cpu::TaskTrace> makeTrace(TaskId task) override;
+    bool isPrivAddr(Addr addr) const override;
+
+    const SynthSpec &spec() const { return spec_; }
+
+    /** @name Region base addresses (tests peek at these) */
+    ///@{
+    static constexpr Addr kChaseBase = 0x8000'0000;
+    static constexpr Addr kReduceBase = 0x8800'0000;
+    static constexpr Addr kGraphHotBase = 0x9000'0000;
+    static constexpr Addr kGraphSrcBase = 0x9800'0000;
+    static constexpr Addr kGraphPrivBase = 0xA000'0000;
+    static constexpr Addr kStormBase = 0xA800'0000;
+    static constexpr Addr kScratchBase = 0xB000'0000;
+    /** Storm words wrap at this many slots. */
+    static constexpr unsigned kStormWords = 1024;
+    ///@}
+
+    /** @name PtrChase structure (cycle invariant, tested) */
+    ///@{
+    /** Slots in the chase table (power of two ≥ tasks×footprint). */
+    std::uint64_t chaseTableWords() const { return chaseWords_; }
+    /** Successor of slot @p x on the chase cycle (full-period LCG). */
+    std::uint64_t chaseNext(std::uint64_t x) const;
+    /** First cycle position of @p task's segment (1-based task). */
+    std::uint64_t chaseSegmentStart(TaskId task) const;
+    ///@}
+
+    /** Raw memory ops of one task, before compute-gap insertion. */
+    std::vector<cpu::Op> memOps(TaskId task) const;
+
+    /**
+     * Order-sensitive checksum over the full op streams of all tasks.
+     * Two workloads with equal checksums emit byte-identical streams —
+     * the determinism oracle of the generator tests and the sweep.
+     */
+    std::uint64_t streamChecksum() const;
+
+  private:
+    SynthSpec spec_;
+
+    /** PtrChase: table size and full-cycle LCG coefficients. */
+    std::uint64_t chaseWords_ = 0;
+    std::uint64_t chaseMul_ = 1;
+    std::uint64_t chaseAdd_ = 1;
+    /** Cycle position of each task's segment start (index task-1). */
+    std::vector<std::uint64_t> chaseStarts_;
+
+    void buildPtrChase(TaskId task, std::vector<cpu::Op> &ops) const;
+    void buildReduce(TaskId task, std::vector<cpu::Op> &ops) const;
+    void buildGraph(TaskId task, std::vector<cpu::Op> &ops) const;
+    void buildSquashStorm(TaskId task, std::vector<cpu::Op> &ops) const;
+};
+
+/** Convenience: one spec per kind with shared base parameters. */
+std::vector<SynthSpec> synthSuite(unsigned tasks, unsigned footprint,
+                                  std::uint64_t seed);
+
+} // namespace tlsim::apps
+
+#endif // TLSIM_APPS_SYNTH_WORKLOAD_HPP

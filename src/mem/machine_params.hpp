@@ -7,6 +7,7 @@
 #ifndef TLSIM_MEM_MACHINE_PARAMS_HPP
 #define TLSIM_MEM_MACHINE_PARAMS_HPP
 
+#include <cstddef>
 #include <string>
 
 #include "common/types.hpp"
@@ -54,6 +55,34 @@ struct MachineParams {
 
     /** Number of directory/memory banks (CMP: 8 on-chip banks). */
     unsigned numBanks = 16;
+
+    /** @name Hierarchical directory banking (scaled machines)
+     *
+     * Flat per-node directories stop scaling past a few dozen nodes:
+     * the 64–256-node meshes and CMP-32 bank their directories in two
+     * levels, clusters of @ref dirClusterNodes nodes sharing a
+     * first-level slice. A lookup whose requester and home live in
+     * different clusters pays @ref latDirCluster extra cycles for the
+     * second-level hop. 0/1 cluster nodes = flat (the paper's
+     * machines). */
+    ///@{
+    unsigned dirClusterNodes = 0;
+    Cycle latDirCluster = 0;
+    ///@}
+
+    /** @name Speculative-structure capacities (no-alloc contracts)
+     *
+     * Scaled machines size the MTID table, per-processor overflow
+     * areas and per-processor undo-log task directories up front and
+     * freeze them (FlatMap::freezeCapacity): running past a capacity
+     * is a loud panic, not a silent reallocation — the same
+     * enforcement the PR 3 hot path uses. 0 = grow on demand (the
+     * paper's small machines, where sizing is uninteresting). */
+    ///@{
+    std::size_t mtidCapacityLines = 0;
+    std::size_t overflowCapacityPerProc = 0;
+    std::size_t undoTasksPerProc = 0;
+    ///@}
 
     /** Page size used for NUMA home assignment (round-robin). */
     unsigned pageBytes = 4096;
@@ -118,6 +147,24 @@ struct MachineParams {
     static MachineParams numa16();
     /** The paper's CMP configuration (Section 4.1). */
     static MachineParams cmp8();
+
+    /**
+     * Scaled CC-NUMA mesh beyond the paper: @p nodes in {64, 128, 256}
+     * (name "mesh64"...). Remote latencies grow with the mean Manhattan
+     * distance of the larger mesh (first-order wire/hop-delay scaling),
+     * directories go hierarchical, and the speculative structures get
+     * frozen capacities sized for the node count.
+     */
+    static MachineParams mesh(unsigned nodes);
+
+    /** Scaled 32-processor CMP with two-level banked directories. */
+    static MachineParams cmp32();
+
+    /**
+     * Machine by name: "numa16", "cmp8", "mesh64", "mesh128",
+     * "mesh256", "cmp32". Returns false for unknown names.
+     */
+    static bool byName(const std::string &name, MachineParams *out);
 };
 
 } // namespace tlsim::mem

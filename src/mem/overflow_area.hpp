@@ -67,6 +67,23 @@ class OverflowArea
     /** Number of spills that landed while saturated. */
     std::uint64_t pressuredSpills() const { return pressured_spills_; }
 
+    /**
+     * Size the table for @p entries live lines and freeze it (scaled
+     * machines pre-size their overflow tag stores; exceeding them is a
+     * loud panic, see MtidTable::reserveCapacity). 0 = grow on demand.
+     * Distinct from setFaultCapacity: the fault knob only charges
+     * latency, this one bounds the table itself.
+     */
+    void
+    reserveCapacity(std::size_t entries)
+    {
+        entries_.freezeCapacity(false);
+        if (entries > 0) {
+            entries_.reserve(entries);
+            entries_.freezeCapacity(true);
+        }
+    }
+
     void clear();
 
   private:

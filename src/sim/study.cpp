@@ -187,6 +187,112 @@ runStudySweep(const std::vector<apps::AppParams> &apps,
     return studies;
 }
 
+tls::RunResult
+runSynthScheme(const apps::SynthSpec &spec,
+               const tls::SchemeConfig &scheme,
+               const mem::MachineParams &machine,
+               const fault::FaultSpec &faults)
+{
+    apps::SynthWorkload workload(spec);
+    tls::EngineConfig cfg;
+    cfg.scheme = scheme;
+    cfg.machine = machine;
+    cfg.faults = faults;
+    if (faults.anyEnabled())
+        cfg.faults.seed = fault::deriveFaultSeed(faults.seed, spec.seed);
+    tls::SpeculationEngine engine(cfg, workload);
+    return engine.run();
+}
+
+tls::RunResult
+runSynthSequential(const apps::SynthSpec &spec,
+                   const mem::MachineParams &machine)
+{
+    apps::SynthWorkload workload(spec);
+    tls::EngineConfig cfg;
+    cfg.machine = machine;
+    cfg.sequential = true;
+    tls::SpeculationEngine engine(cfg, workload);
+    return engine.run();
+}
+
+tls::BufferSizing
+bufferSizingOf(const mem::MachineParams &machine)
+{
+    tls::BufferSizing sz;
+    sz.numProcs = machine.numProcs;
+    sz.l2LinesPerProc = machine.l2.sizeBytes / mem::kLineBytes;
+    // Grow-on-demand machines (the paper's) are costed as if their
+    // structures were sized like a scaled machine's per-node share, so
+    // cost columns stay comparable across topologies.
+    sz.mtidLines = machine.mtidCapacityLines
+                       ? machine.mtidCapacityLines
+                       : std::size_t(4096) * machine.numProcs;
+    // Tag width: enough for the deepest in-flight window plus slack.
+    sz.taskIdBits = machine.numProcs >= 64 ? 16 : 12;
+    return sz;
+}
+
+std::vector<SynthStudy>
+runSynthSweep(const std::vector<apps::SynthSpec> &specs,
+              const std::vector<tls::SchemeConfig> &schemes,
+              const mem::MachineParams &machine, unsigned threads,
+              const fault::FaultSpec &faults)
+{
+    const std::size_t n_specs = specs.size();
+    const std::size_t n_schemes = schemes.size();
+    const unsigned sweep_ordinal = trace::nextSweepOrdinal();
+    const tls::BufferSizing sizing = bufferSizingOf(machine);
+
+    std::vector<Cycle> seq_times(n_specs, 0);
+    std::vector<tls::RunResult> runs(n_specs * n_schemes);
+
+    TaskPool pool(threads);
+    for (std::size_t i = 0; i < n_specs; ++i) {
+        pool.submit([&, i] {
+            trace::ScopedPoint point(
+                trace::streamId(specs[i].name(), machine.name,
+                                sweep_ordinal),
+                0);
+            seq_times[i] =
+                runSynthSequential(specs[i], machine).execTime;
+        });
+        for (std::size_t s = 0; s < n_schemes; ++s) {
+            std::size_t slot = i * n_schemes + s;
+            pool.submit([&, i, s, slot] {
+                trace::ScopedPoint point(
+                    trace::streamId(specs[i].name(), machine.name,
+                                    sweep_ordinal),
+                    0);
+                runs[slot] =
+                    runSynthScheme(specs[i], schemes[s], machine, faults);
+            });
+        }
+    }
+    pool.wait();
+
+    std::vector<SynthStudy> studies;
+    studies.reserve(n_specs);
+    for (std::size_t i = 0; i < n_specs; ++i) {
+        SynthStudy study;
+        study.spec = specs[i];
+        study.machine = machine;
+        study.seqTime = seq_times[i];
+        for (std::size_t s = 0; s < n_schemes; ++s) {
+            SynthOutcome out;
+            out.scheme = schemes[s];
+            out.result = std::move(runs[i * n_schemes + s]);
+            if (out.result.execTime > 0 && study.seqTime > 0)
+                out.speedup = double(study.seqTime) /
+                              double(out.result.execTime);
+            out.bufferCostKb = tls::bufferingCostKb(schemes[s], sizing);
+            study.outcomes.push_back(std::move(out));
+        }
+        studies.push_back(std::move(study));
+    }
+    return studies;
+}
+
 AppStudy
 runAppStudy(const apps::AppParams &app,
             const std::vector<tls::SchemeConfig> &schemes,

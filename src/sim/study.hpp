@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "apps/app_suite.hpp"
+#include "apps/synth_workload.hpp"
 #include "common/fault.hpp"
 #include "mem/machine_params.hpp"
 #include "tls/engine.hpp"
@@ -121,6 +122,55 @@ runStudySweep(const std::vector<apps::AppParams> &apps,
               const std::vector<tls::SchemeConfig> &schemes,
               const mem::MachineParams &machine,
               unsigned replications = 1, unsigned threads = 0,
+              const fault::FaultSpec &faults = {});
+
+/** One scheme's results for one synthetic workload spec. */
+struct SynthOutcome {
+    tls::SchemeConfig scheme;
+    tls::RunResult result;
+    /** Speedup over the sequential baseline of the same spec. */
+    double speedup = 0.0;
+    /** Dedicated buffering hardware of the scheme on this machine,
+     *  in KB machine-wide (bufferingCostKb; the Pareto cost axis). */
+    double bufferCostKb = 0.0;
+};
+
+/** All schemes for one synthetic spec on one machine. */
+struct SynthStudy {
+    apps::SynthSpec spec;
+    mem::MachineParams machine;
+    Cycle seqTime = 0;
+    std::vector<SynthOutcome> outcomes;
+};
+
+/**
+ * Simulate one (spec, scheme, machine) point. The generated stream is
+ * a pure function of the spec (seed included); every scheme of one
+ * spec sees the identical stream (paired comparison, like
+ * derivePointSeed's scheme-blindness).
+ */
+tls::RunResult runSynthScheme(const apps::SynthSpec &spec,
+                              const tls::SchemeConfig &scheme,
+                              const mem::MachineParams &machine,
+                              const fault::FaultSpec &faults = {});
+
+/** Sequential baseline of one synthetic spec. */
+tls::RunResult runSynthSequential(const apps::SynthSpec &spec,
+                                  const mem::MachineParams &machine);
+
+/** Buffering-cost sizing of a machine (feeds bufferingCostKb). */
+tls::BufferSizing bufferSizingOf(const mem::MachineParams &machine);
+
+/**
+ * Sweep: every spec under every scheme plus per-spec sequential
+ * baselines, one flat pool of parallel jobs, deterministic at any
+ * thread count (results are indexed, not draw-ordered; each point's
+ * stream depends only on its spec).
+ */
+std::vector<SynthStudy>
+runSynthSweep(const std::vector<apps::SynthSpec> &specs,
+              const std::vector<tls::SchemeConfig> &schemes,
+              const mem::MachineParams &machine, unsigned threads = 0,
               const fault::FaultSpec &faults = {});
 
 /**

@@ -88,6 +88,11 @@ SpeculationEngine::SpeculationEngine(const EngineConfig &cfg,
         nodeOfHome_[h] = h % nodes;
         dirBankOfHome_[h] = h % m.numBanks;
     }
+    if (m.dirClusterNodes > 1) {
+        clusterOfNode_.resize(nodes);
+        for (unsigned n = 0; n < nodes; ++n)
+            clusterOfNode_[n] = n / m.dirClusterNodes;
+    }
 
     cpu::CoreParams core_params;
     core_params.ipc = m.ipc;
@@ -104,6 +109,18 @@ SpeculationEngine::SpeculationEngine(const EngineConfig &cfg,
     }
     overflow_.resize(m.numProcs);
     logs_.resize(m.numProcs);
+
+    // Scaled machines declare frozen structure capacities: size the
+    // tables once here, then any growth past them panics instead of
+    // silently reallocating (the sequential baseline models none of
+    // the speculative hardware and keeps grow-on-demand).
+    if (!cfg_.sequential) {
+        mtid_.reserveCapacity(m.mtidCapacityLines);
+        for (auto &area : overflow_)
+            area.reserveCapacity(m.overflowCapacityPerProc);
+        for (auto &log : logs_)
+            log.reserveTasks(m.undoTasksPerProc);
+    }
 
     // Fault injection: the plan is engine-local (one RNG set per run,
     // never shared across sweep threads) and each component is only

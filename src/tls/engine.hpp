@@ -162,6 +162,8 @@ class SpeculationEngine : public cpu::SpecMemoryIf,
     std::vector<unsigned> nodeOfHome_;
     /** homeOf(line) result → directory bank index. */
     std::vector<unsigned> dirBankOfHome_;
+    /** NoC node → directory cluster (empty = flat directories). */
+    std::vector<unsigned> clusterOfNode_;
     /** vclMergeLine displacement scan (was a per-call vector). */
     SmallVec<mem::VersionTag, 8> deadScratch_;
     /** runRecoveryQueue undo-log drain buffer (reused, reversed). */
@@ -235,6 +237,21 @@ class SpeculationEngine : public cpu::SpecMemoryIf,
     /** Contention-charged round trip to the home directory. */
     Cycle dirRoundTrip(ProcId proc, unsigned home, Cycle now,
                        bool data_reply);
+    /**
+     * Second-level hop cost of hierarchical directory banking: nonzero
+     * when the machine clusters its directory banks and requester and
+     * home sit in different clusters (scaled machines only).
+     */
+    Cycle
+    dirClusterPenalty(ProcId proc, unsigned home) const
+    {
+        if (clusterOfNode_.empty())
+            return 0;
+        return clusterOfNode_[nodeOfProc_[proc]] ==
+                       clusterOfNode_[nodeOfHome_[home]]
+                   ? 0
+                   : cfg_.machine.latDirCluster;
+    }
     /** Background write-back of one line to its home (returns finish). */
     Cycle backgroundWriteBack(ProcId proc, Addr line, Cycle when);
 

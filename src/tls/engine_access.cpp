@@ -35,6 +35,7 @@ SpeculationEngine::dirRoundTrip(ProcId proc, unsigned home, Cycle now,
                              noc::MsgClass::Control);
     d += dirBanks_[dirBankOfHome_[home]].acquire(
         now, cfg_.machine.occDirBank);
+    d += dirClusterPenalty(proc, home);
     d += net_->traverse(now, nodeOfHome_[home], nodeOfProc_[proc],
                         data_reply ? noc::MsgClass::Data
                                    : noc::MsgClass::Control);
@@ -112,6 +113,7 @@ SpeculationEngine::fetchLatency(ProcId proc, Addr line, VersionInfo *v,
                                       noc::MsgClass::Control);
                 lat += dirBanks_[dirBankOfHome_[home]].acquire(
                     now, m.occDirBank);
+                lat += dirClusterPenalty(proc, home);
                 lat += net_->traverse(now, nodeOfHome_[home],
                                       nodeOfProc_[q],
                                       noc::MsgClass::Control);
@@ -148,6 +150,7 @@ SpeculationEngine::fetchLatency(ProcId proc, Addr line, VersionInfo *v,
                                  noc::MsgClass::Control);
             lat += dirBanks_[dirBankOfHome_[home]].acquire(
                 now, m.occDirBank);
+            lat += dirClusterPenalty(proc, home);
             if (CacheLineState *f3 = l3_->findVersion(line, tag)) {
                 f3->lastUse = now;
                 lat += m.latL3 + l3Banks_.access(home, now);

@@ -118,6 +118,47 @@ SchemeConfig::requiredSupports() const
     return s;
 }
 
+double
+bufferingCostKb(const SchemeConfig &scheme, const BufferSizing &sizing)
+{
+    SupportSet s = scheme.requiredSupports();
+    double bits = 0.0;
+
+    // Per-line tag storage: a task-ID field on every L2 line (CTID)
+    // and on every MTID-covered memory line. Tag width grows with the
+    // in-flight task window the machine is sized for.
+    if (s.has(kCTID))
+        bits += double(sizing.l2LinesPerProc) * sizing.numProcs *
+                sizing.taskIdBits;
+    if (s.has(kMTID))
+        bits += double(sizing.mtidLines) * sizing.taskIdBits;
+
+    // Logic-dominated supports: charged as a flat per-processor
+    // equivalent (comparators, combining network) of one cache line
+    // each — small next to the tag arrays, but nonzero so that e.g.
+    // Lazy is dearer than Eager at equal separation.
+    const double kLogicBits = 64.0 * 8.0;
+    if (s.has(kCRL))
+        bits += kLogicBits * sizing.numProcs;
+    if (s.has(kVCL))
+        bits += kLogicBits * sizing.numProcs;
+
+    // ULOG: the MHB itself lives in cacheable main memory (the paper's
+    // point — capacity is free, latency is the cost), so the dedicated
+    // hardware is the per-processor log *write buffer* plus its
+    // sequencing logic. Each buffered entry keeps the displaced line
+    // plus the producer and overwriting task IDs. FMM.Sw keeps even
+    // that in plain memory (cost is instructions, not hardware), which
+    // the supports set already reflects by dropping kULOG.
+    if (s.has(kULOG)) {
+        double entry_bits = 64.0 * 8.0 + 2.0 * sizing.taskIdBits;
+        bits += double(sizing.undoBufferEntries) * sizing.numProcs *
+                entry_bits;
+    }
+
+    return bits / 8.0 / 1024.0;
+}
+
 std::vector<SchemeConfig>
 SchemeConfig::evaluatedSchemes()
 {

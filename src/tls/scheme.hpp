@@ -7,6 +7,7 @@
 #ifndef TLSIM_TLS_SCHEME_HPP
 #define TLSIM_TLS_SCHEME_HPP
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -113,6 +114,37 @@ struct SchemeConfig {
         return SchemeConfig{s, m, sw_log};
     }
 };
+
+/**
+ * Machine-dependent sizes the buffering-cost model needs. Kept as a
+ * plain struct (not MachineParams) so the scheme layer stays free of
+ * the mem layer; callers fill it from a MachineParams.
+ */
+struct BufferSizing {
+    unsigned numProcs = 16;
+    /** L2 lines per processor (CTID/CRL tag overhead scales with it). */
+    std::size_t l2LinesPerProc = 8192;
+    /** MTID table capacity in lines (machine-wide). */
+    std::size_t mtidLines = 0;
+    /** ULOG write-buffer entries per processor (the log itself lives
+     *  in main memory; only the buffer is dedicated hardware). */
+    std::size_t undoBufferEntries = 64;
+    /** Task-ID tag width in bits (CTID/MTID tag cost per line). */
+    unsigned taskIdBits = 12;
+};
+
+/**
+ * Estimated dedicated-hardware cost, in KB machine-wide, of the
+ * supports a scheme requires (extends Tables 1–2 from a checklist to a
+ * cost axis). Per-line task-ID tags are charged at taskIdBits per L2
+ * line (CTID) or MTID line; CRL and VCL are charged as per-processor
+ * comparator/combining logic at a flat line-sized equivalent each;
+ * ULOG charges its per-processor log write buffer (line + two task
+ * IDs per entry), except under softwareLog where even the buffer
+ * lives in plain memory and costs instructions instead of hardware.
+ */
+double bufferingCostKb(const SchemeConfig &scheme,
+                       const BufferSizing &sizing);
 
 /**
  * Figure 4: published scheme -> taxonomy position.

@@ -183,3 +183,108 @@ TEST(Squash, FrequentSquashesHurtFmmMoreThanLazy)
     EXPECT_GT(fmm_res.total.get(CycleKind::RecoveryWork),
               lazy_res.total.get(CycleKind::RecoveryWork));
 }
+
+// ---------------------------------------------------------------------
+// SquashStorm regressions: the generated adversarial workload against
+// every evaluated scheme, the budgeted fault-squash caps, and the FMM
+// memory-holder invariant under injected squashes.
+
+#include "apps/synth_workload.hpp"
+#include "sim/study.hpp"
+
+namespace {
+
+apps::SynthSpec
+stormSpec()
+{
+    apps::SynthSpec spec;
+    spec.kind = apps::SynthKind::SquashStorm;
+    spec.tasks = 24;
+    spec.footprint = 64;
+    spec.conflict = 0.4;
+    spec.tasksPerInvocation = 8;
+    spec.seed = 0x57;
+    return spec;
+}
+
+} // namespace
+
+TEST(SquashStorm, EveryEvaluatedSchemeRidesOutTheStorm)
+{
+    const apps::SynthSpec spec = stormSpec();
+    const mem::MachineParams machine = mem::MachineParams::numa16();
+    std::uint64_t total_squashes = 0;
+    for (const SchemeConfig &scheme :
+         SchemeConfig::evaluatedSchemes()) {
+        RunResult res = sim::runSynthScheme(spec, scheme, machine);
+        EXPECT_EQ(res.committedTasks, spec.tasks) << scheme.name();
+        total_squashes += res.squashEvents;
+    }
+    // The storm must actually storm somewhere.
+    EXPECT_GT(total_squashes, 0u);
+}
+
+TEST(SquashStorm, FinalMemoryStateAgreesAcrossAllSchemes)
+{
+    // Squash recovery differs wildly between AMM bookkeeping and FMM
+    // log replay, but what commits must not: every scheme converges on
+    // the same committed image of the same stream.
+    const apps::SynthSpec spec = stormSpec();
+    const mem::MachineParams machine = mem::MachineParams::numa16();
+    const auto schemes = SchemeConfig::evaluatedSchemes();
+    RunResult base = sim::runSynthScheme(spec, schemes[0], machine);
+    ASSERT_GT(base.memStateLines, 0u);
+    for (std::size_t s = 1; s < schemes.size(); ++s) {
+        RunResult res = sim::runSynthScheme(spec, schemes[s], machine);
+        EXPECT_EQ(res.memStateHash, base.memStateHash)
+            << schemes[s].name();
+        EXPECT_EQ(res.memStateLines, base.memStateLines)
+            << schemes[s].name();
+    }
+}
+
+TEST(SquashStorm, BudgetedFaultSquashesRespectTheirCaps)
+{
+    fault::FaultSpec faults;
+    faults.seed = 0x51ab;
+    faults.squashProb = 0.05;
+    faults.squashMax = 10;
+    faults.commitSquashProb = 0.05;
+    faults.commitSquashMax = 5;
+
+    const apps::SynthSpec spec = stormSpec();
+    for (Merging merge : {Merging::LazyAMM, Merging::FMM}) {
+        RunResult res = sim::runSynthScheme(
+            spec, SchemeConfig::make(Separation::MultiTMV, merge),
+            mem::MachineParams::numa16(), faults);
+        EXPECT_EQ(res.committedTasks, spec.tasks);
+        EXPECT_GT(res.faults.spuriousSquashes, 0u);
+        EXPECT_LE(res.faults.spuriousSquashes, faults.squashMax);
+        EXPECT_LE(res.faults.commitSquashes, faults.commitSquashMax);
+    }
+}
+
+TEST(SquashStorm, FmmMemoryHolderSurvivesInjectedSquashes)
+{
+    // FMM's main memory holds futures; a squash wave replayed through
+    // the MHB must leave exactly the committed image of a clean run.
+    fault::FaultSpec faults;
+    faults.seed = 0x77aa;
+    faults.squashProb = 0.02;
+    faults.squashMax = 16;
+
+    const apps::SynthSpec spec = stormSpec();
+    const mem::MachineParams machine = mem::MachineParams::numa16();
+    for (bool sw : {false, true}) {
+        SchemeConfig fmm = SchemeConfig::make(Separation::MultiTMV,
+                                              Merging::FMM, sw);
+        RunResult clean = sim::runSynthScheme(spec, fmm, machine);
+        RunResult faulted =
+            sim::runSynthScheme(spec, fmm, machine, faults);
+        EXPECT_EQ(faulted.committedTasks, spec.tasks) << fmm.name();
+        EXPECT_EQ(faulted.memStateHash, clean.memStateHash)
+            << fmm.name();
+        EXPECT_EQ(faulted.memStateLines, clean.memStateLines)
+            << fmm.name();
+    }
+}

@@ -1,0 +1,233 @@
+#!/usr/bin/env python3
+"""Frontend for the synthetic-workload Pareto sweep.
+
+Drives ``bench_synth_sweep`` over a topology x workload x scheme grid,
+parses its CSV, and renders Pareto tables (speedup vs dedicated
+buffering cost) plus the ranking inversions against the paper's
+Table 2 support-upgrade ordering. Can also re-analyze an existing CSV
+without running anything (``--csv-in``), which is what CI does with
+the uploaded artifact.
+
+Standard library only. Examples:
+
+    tools/synth_sweep.py --bench build/bench/bench_synth_sweep --quick
+    tools/synth_sweep.py --csv-in sweep.csv --markdown
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import io
+import subprocess
+import sys
+from collections import defaultdict
+from pathlib import Path
+
+# Table 2's support-upgrade chains (scheme names as the bench prints
+# them). On the paper's calibrated loops each step adds hardware and
+# does not lose performance; a synthetic point violating this is a
+# ranking inversion.
+UPGRADE_CHAINS = [
+    [
+        "SingleT Eager AMM",
+        "MultiT&SV Eager AMM",
+        "MultiT&MV Eager AMM",
+        "MultiT&MV Lazy AMM",
+        "MultiT&MV FMM",
+    ],
+    [
+        "SingleT Lazy AMM",
+        "MultiT&SV Lazy AMM",
+        "MultiT&MV Lazy AMM",
+        "MultiT&MV FMM",
+    ],
+]
+
+# Relative slowdown before a pair counts as inverted (same epsilon as
+# the bench driver).
+EPSILON = 0.02
+
+
+def run_bench(bench: Path, args: list[str]) -> str:
+    """Run bench_synth_sweep, return its CSV text (via a temp file)."""
+    import tempfile
+
+    with tempfile.NamedTemporaryFile(suffix=".csv", delete=False) as tmp:
+        csv_path = tmp.name
+    cmd = [str(bench), f"--csv={csv_path}", *args]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stderr)
+        raise SystemExit(f"{bench} exited {proc.returncode}")
+    text = Path(csv_path).read_text(encoding="utf-8")
+    Path(csv_path).unlink()
+    return text
+
+
+def load_rows(text: str) -> list[dict]:
+    rows = []
+    for raw in csv.DictReader(io.StringIO(text)):
+        rows.append(
+            {
+                "machine": raw["machine"],
+                "kind": raw["kind"],
+                "spec": raw["spec"],
+                "scheme": raw["scheme"],
+                "speedup": float(raw["speedup"]),
+                "cost_kb": float(raw["cost_kb"]),
+                "squashes": int(raw["squashes"]),
+                "pareto": raw["pareto"] == "1",
+            }
+        )
+    return rows
+
+
+def pareto_front(points: list[dict]) -> set[str]:
+    """Scheme names not dominated in (cost_kb down, speedup up)."""
+    front = set()
+    for a in points:
+        dominated = any(
+            (b["cost_kb"] <= a["cost_kb"] and b["speedup"] >= a["speedup"])
+            and (b["cost_kb"] < a["cost_kb"] or b["speedup"] > a["speedup"])
+            for b in points
+            if b is not a
+        )
+        if not dominated:
+            front.add(a["scheme"])
+    return front
+
+
+def find_inversions(rows: list[dict]) -> list[dict]:
+    by_point = defaultdict(dict)
+    for r in rows:
+        by_point[(r["machine"], r["kind"])][r["scheme"]] = r
+    inversions = []
+    for (machine, kind), schemes in sorted(by_point.items()):
+        seen = set()
+        for chain in UPGRADE_CHAINS:
+            for lo_name, hi_name in zip(chain, chain[1:]):
+                if (lo_name, hi_name) in seen:
+                    continue
+                seen.add((lo_name, hi_name))
+                lo, hi = schemes.get(lo_name), schemes.get(hi_name)
+                if lo is None or hi is None:
+                    continue
+                if hi["speedup"] < lo["speedup"] * (1.0 - EPSILON):
+                    inversions.append(
+                        {
+                            "machine": machine,
+                            "kind": kind,
+                            "cheaper": lo_name,
+                            "costlier": hi_name,
+                            "cheaper_speedup": lo["speedup"],
+                            "costlier_speedup": hi["speedup"],
+                            "cost_delta_kb": hi["cost_kb"] - lo["cost_kb"],
+                        }
+                    )
+    return inversions
+
+
+def render(rows: list[dict], markdown: bool) -> str:
+    out = io.StringIO()
+    by_group = defaultdict(list)
+    for r in rows:
+        by_group[(r["machine"], r["kind"])].append(r)
+
+    header = ["Machine", "Kind", "Scheme", "Speedup", "Cost KB", "Pareto"]
+    if markdown:
+        out.write("| " + " | ".join(header) + " |\n")
+        out.write("|" + "|".join("---" for _ in header) + "|\n")
+    else:
+        out.write("{:<9} {:<12} {:<20} {:>8} {:>9} {:>7}\n".format(*header))
+
+    for (machine, kind), points in sorted(by_group.items()):
+        front = pareto_front(points)
+        for p in points:
+            cells = [
+                machine,
+                kind,
+                p["scheme"],
+                f"{p['speedup']:.2f}",
+                f"{p['cost_kb']:.0f}",
+                "*" if p["scheme"] in front else "",
+            ]
+            if markdown:
+                out.write("| " + " | ".join(cells) + " |\n")
+            else:
+                out.write(
+                    "{:<9} {:<12} {:<20} {:>8} {:>9} {:>7}\n".format(*cells)
+                )
+
+    inversions = find_inversions(rows)
+    out.write(f"\nRanking inversions vs Table 2 ({len(inversions)}):\n")
+    for inv in inversions:
+        out.write(
+            "  {machine}/{kind}: {costlier} (+{cost_delta_kb:.0f} KB) "
+            "{costlier_speedup:.2f}x < {cheaper} "
+            "{cheaper_speedup:.2f}x\n".format(**inv)
+        )
+    if not inversions:
+        out.write("  (none at this grid)\n")
+    return out.getvalue()
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument(
+        "--bench",
+        type=Path,
+        default=Path("build/bench/bench_synth_sweep"),
+        help="path to the bench_synth_sweep binary",
+    )
+    ap.add_argument(
+        "--csv-in",
+        type=Path,
+        help="analyze this CSV instead of running the bench",
+    )
+    ap.add_argument("--csv-out", type=Path, help="also save the raw CSV")
+    ap.add_argument("--quick", action="store_true", help="small grid")
+    ap.add_argument("--threads", type=int, help="worker threads")
+    ap.add_argument(
+        "--machines", help="comma list, e.g. numa16,mesh64,cmp32"
+    )
+    ap.add_argument(
+        "--markdown", action="store_true", help="render Markdown tables"
+    )
+    ap.add_argument(
+        "--require-inversion",
+        action="store_true",
+        help="exit 1 unless at least one ranking inversion is found",
+    )
+    args = ap.parse_args()
+
+    if args.csv_in is not None:
+        text = args.csv_in.read_text(encoding="utf-8")
+    else:
+        if not args.bench.exists():
+            raise SystemExit(f"bench binary not found: {args.bench}")
+        bench_args = []
+        if args.quick:
+            bench_args.append("--quick")
+        if args.threads is not None:
+            bench_args.append(f"--threads={args.threads}")
+        if args.machines:
+            bench_args.append(f"--machines={args.machines}")
+        text = run_bench(args.bench, bench_args)
+
+    if args.csv_out is not None:
+        args.csv_out.write_text(text, encoding="utf-8")
+
+    rows = load_rows(text)
+    if not rows:
+        raise SystemExit("no sweep rows")
+    sys.stdout.write(render(rows, args.markdown))
+
+    if args.require_inversion and not find_inversions(rows):
+        sys.stderr.write("expected at least one ranking inversion\n")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
