@@ -22,6 +22,7 @@ int
 main(int argc, char **argv)
 {
     unsigned threads = bench::parseThreads(argc, argv);
+    unsigned partitions = bench::parsePartitions(argc, argv);
     fault::FaultSpec faults = bench::parseFaults(argc, argv);
     // Full sweeps emit millions of records; default to the audit
     // categories (no NoC firehose) and size the rings accordingly.
@@ -37,7 +38,7 @@ main(int argc, char **argv)
 
     std::vector<sim::AppStudy> studies =
         sim::runStudySweep(apps::appSuite(), schemes, machine, 3, threads,
-                           faults);
+                           faults, partitions);
 
     std::fputs(sim::renderFigure(
                    "Figure 10 — architectural vs future main memory "
@@ -53,7 +54,7 @@ main(int argc, char **argv)
     sim::AppStudy lazy_l2_study = sim::runAppStudy(
         apps::p3m(),
         {{tls::Separation::MultiTMV, tls::Merging::LazyAMM, false}},
-        big_l2, 3, threads, faults);
+        big_l2, 3, threads, faults, partitions);
     const sim::AppStudy &p3m_study = studies[0];
     double norm = lazy_l2_study.outcomes[0].meanExecTime /
                   p3m_study.outcomes[0].meanExecTime;

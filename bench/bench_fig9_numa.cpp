@@ -17,6 +17,7 @@ int
 main(int argc, char **argv)
 {
     unsigned threads = bench::parseThreads(argc, argv);
+    unsigned partitions = bench::parsePartitions(argc, argv);
     fault::FaultSpec faults = bench::parseFaults(argc, argv);
     // Full sweeps emit millions of records; default to the audit
     // categories (no NoC firehose) and size the rings accordingly.
@@ -34,7 +35,7 @@ main(int argc, char **argv)
 
     std::vector<sim::AppStudy> studies =
         sim::runStudySweep(apps::appSuite(), schemes, machine, 3, threads,
-                           faults);
+                           faults, partitions);
 
     std::fputs(sim::renderFigure(
                    "Figure 9 — task-state separation x eager/lazy AMM "

@@ -38,6 +38,7 @@ namespace {
 struct Options {
     bool quick = false;
     unsigned threads = 0;
+    unsigned partitions = 0;
     std::vector<std::string> machines = {"numa16", "mesh64", "cmp32"};
     std::string csvPath;
     fault::FaultSpec faults;
@@ -48,6 +49,7 @@ parseOptions(int argc, char **argv)
 {
     Options opt;
     opt.threads = bench::parseThreads(argc, argv);
+    opt.partitions = bench::parsePartitions(argc, argv);
     opt.faults = bench::parseFaults(argc, argv);
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
@@ -172,7 +174,8 @@ main(int argc, char **argv)
         }
 
         std::vector<sim::SynthStudy> studies = sim::runSynthSweep(
-            specs, schemes, machine, opt.threads, opt.faults);
+            specs, schemes, machine, opt.threads, opt.faults,
+            opt.partitions);
 
         TextTable table({"Kind", "Scheme", "Speedup", "Cost KB",
                          "Pareto", "Squashes"});

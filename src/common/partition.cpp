@@ -1,0 +1,378 @@
+#include "common/partition.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "common/log.hpp"
+
+namespace tlsim {
+
+// --------------------------------------------------------------------
+// PartitionPlan
+// --------------------------------------------------------------------
+
+Cycle
+PartitionPlan::horizonWindow(unsigned dst) const
+{
+    if (partitions <= 1)
+        return kCycleNever;
+    Cycle w = kCycleNever;
+    for (unsigned src = 0; src < partitions; ++src) {
+        if (src != dst)
+            w = std::min(w, lookaheadBetween(src, dst));
+    }
+    return w;
+}
+
+PartitionPlan
+PartitionPlan::build(
+    unsigned partitions, unsigned nodes,
+    const std::function<Cycle(unsigned, unsigned)> &min_msg_cycles)
+{
+    PartitionPlan plan;
+    plan.nodes = std::max(1u, nodes);
+    plan.partitions = std::clamp(partitions, 1u, plan.nodes);
+
+    // Balanced contiguous blocks: node order is row-major on the
+    // meshes, so blocks are bands of rows and block distance grows
+    // with index distance.
+    plan.firstNode.resize(plan.partitions + 1);
+    for (unsigned p = 0; p <= plan.partitions; ++p) {
+        plan.firstNode[p] =
+            unsigned((std::uint64_t(p) * plan.nodes) / plan.partitions);
+    }
+
+    // Pairwise lookahead: minimum message latency over all node pairs
+    // of the two blocks. O(nodes^2) once at build time — 256 nodes is
+    // 65k probes, nothing next to a simulation.
+    plan.lookahead.assign(std::size_t(plan.partitions) * plan.partitions,
+                          0);
+    plan.minLookahead = plan.partitions > 1 ? kCycleNever : 0;
+    for (unsigned a = 0; a < plan.partitions; ++a) {
+        for (unsigned b = 0; b < plan.partitions; ++b) {
+            if (a == b)
+                continue;
+            Cycle best = kCycleNever;
+            for (unsigned na = plan.firstNode[a];
+                 na < plan.firstNode[a + 1]; ++na) {
+                for (unsigned nb = plan.firstNode[b];
+                     nb < plan.firstNode[b + 1]; ++nb) {
+                    best = std::min(best, min_msg_cycles(na, nb));
+                }
+            }
+            // A zero-latency fabric would shrink every epoch to one
+            // cycle of nothing; one cycle is the floor that keeps the
+            // conservative window meaningful.
+            best = std::max<Cycle>(best, 1);
+            plan.lookahead[std::size_t(a) * plan.partitions + b] = best;
+            plan.minLookahead = std::min(plan.minLookahead, best);
+        }
+    }
+    return plan;
+}
+
+// --------------------------------------------------------------------
+// SpscMailbox
+// --------------------------------------------------------------------
+
+SpscMailbox::SpscMailbox(std::size_t capacity)
+    : ring_(std::max<std::size_t>(capacity, 2))
+{
+}
+
+void
+SpscMailbox::push(Cycle deliver_at, std::uint64_t seq,
+                  EventQueue::Callback fn)
+{
+    std::size_t tail = tail_.load(std::memory_order_relaxed);
+    std::size_t next = (tail + 1) % ring_.size();
+    if (next == head_.load(std::memory_order_acquire))
+        overflowPanic();
+    ring_[tail].deliverAt = deliver_at;
+    ring_[tail].seq = seq;
+    ring_[tail].fn = std::move(fn);
+    tail_.store(next, std::memory_order_release);
+}
+
+bool
+SpscMailbox::pop(Msg *out)
+{
+    std::size_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_.load(std::memory_order_acquire))
+        return false;
+    out->deliverAt = ring_[head].deliverAt;
+    out->seq = ring_[head].seq;
+    out->fn = std::move(ring_[head].fn);
+    head_.store((head + 1) % ring_.size(), std::memory_order_release);
+    return true;
+}
+
+void
+SpscMailbox::overflowPanic()
+{
+    panic("SpscMailbox: overflow (capacity " +
+          std::to_string(ring_.size() - 1) +
+          ") — epoch produced more cross-partition messages than the "
+          "mailbox was sized for");
+}
+
+// --------------------------------------------------------------------
+// PartitionedScheduler
+// --------------------------------------------------------------------
+
+PartitionedScheduler::PartitionedScheduler(unsigned partitions, Mode mode,
+                                           unsigned workers)
+    : mode_(mode)
+{
+    partitions = std::max(1u, partitions);
+    queues_.reserve(partitions);
+    for (unsigned p = 0; p < partitions; ++p) {
+        queues_.push_back(std::make_unique<EventQueue>());
+        if (mode_ == Mode::Ordered)
+            queues_.back()->bindSequence(&sharedSeq_);
+    }
+
+    // Identity plan until setPlan(): every node its own... no — one
+    // block per partition over `partitions` nodes, unit lookahead.
+    plan_ = PartitionPlan::build(partitions, partitions,
+                                 [](unsigned, unsigned) { return 1; });
+
+    if (mode_ == Mode::Parallel) {
+        mailboxes_.resize(std::size_t(partitions) * partitions);
+        for (auto &m : mailboxes_)
+            m = std::make_unique<SpscMailbox>();
+        sendSeq_.assign(partitions, 0);
+        horizons_.assign(partitions, 0);
+
+        workers_ = workers == 0 ? partitions
+                                : std::clamp(workers, 1u, partitions);
+        // Main participates in every epoch; spawn the other workers.
+        for (unsigned w = 1; w < workers_; ++w)
+            threads_.emplace_back([this] { workerLoop(); });
+    }
+}
+
+PartitionedScheduler::~PartitionedScheduler()
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        stopping_ = true;
+    }
+    epochStart_.notify_all();
+    for (auto &t : threads_)
+        t.join();
+}
+
+void
+PartitionedScheduler::setPlan(PartitionPlan plan)
+{
+    if (plan.partitions != partitions())
+        panic("PartitionedScheduler: plan partition count mismatch");
+    plan_ = std::move(plan);
+}
+
+std::uint64_t
+PartitionedScheduler::executedEvents() const
+{
+    std::uint64_t n = 0;
+    for (const auto &q : queues_)
+        n += q->executedEvents();
+    return n;
+}
+
+Cycle
+PartitionedScheduler::run(Cycle maxCycle)
+{
+    return mode_ == Mode::Ordered ? runOrdered(maxCycle)
+                                  : runParallel(maxCycle);
+}
+
+Cycle
+PartitionedScheduler::runOrdered(Cycle maxCycle)
+{
+    // One partition is literally the serial engine: one queue, one
+    // run() loop, no merge overhead.
+    if (queues_.size() == 1)
+        return queues_[0]->run(maxCycle);
+
+    const unsigned n = partitions();
+    for (;;) {
+        // k-way merge: earliest (when, seq) across queue heads. The
+        // shared sequence counter makes keys globally unique and the
+        // merged order the exact serial total order.
+        unsigned best = n;
+        Cycle bestWhen = kCycleNever;
+        std::uint64_t bestSeq = ~std::uint64_t(0);
+        for (unsigned p = 0; p < n; ++p) {
+            Cycle w;
+            std::uint64_t s;
+            if (!queues_[p]->peekHead(&w, &s))
+                continue;
+            if (best == n || w < bestWhen ||
+                (w == bestWhen && s < bestSeq)) {
+                best = p;
+                bestWhen = w;
+                bestSeq = s;
+            }
+        }
+        if (best == n || bestWhen > maxCycle)
+            break;
+        // Sync every queue's clock to the event time first: cores and
+        // the tracer read global time through their own queue.
+        for (unsigned p = 0; p < n; ++p)
+            queues_[p]->syncTo(bestWhen);
+        queues_[best]->step();
+    }
+    return queues_[0]->now();
+}
+
+Cycle
+PartitionedScheduler::runParallel(Cycle maxCycle)
+{
+    const unsigned n = partitions();
+    const Cycle cap = maxCycle == kCycleNever ? kCycleNever : maxCycle + 1;
+    for (;;) {
+        messages_ += drainMailboxes();
+
+        Cycle epochStartTime = kCycleNever;
+        for (unsigned p = 0; p < n; ++p) {
+            Cycle w;
+            std::uint64_t s;
+            if (queues_[p]->peekHead(&w, &s))
+                epochStartTime = std::min(epochStartTime, w);
+        }
+        if (epochStartTime == kCycleNever || epochStartTime > maxCycle)
+            break;
+
+        for (unsigned p = 0; p < n; ++p) {
+            Cycle window = plan_.horizonWindow(p);
+            Cycle h = window == kCycleNever ? kCycleNever
+                                            : epochStartTime + window;
+            horizons_[p] = std::min(h, cap);
+        }
+
+        claim_.store(0, std::memory_order_relaxed);
+        if (workers_ <= 1) {
+            runEpochBody();
+        } else {
+            {
+                std::lock_guard<std::mutex> lk(mu_);
+                ++epochGen_;
+                runningWorkers_ = unsigned(threads_.size());
+            }
+            epochStart_.notify_all();
+            runEpochBody();
+            std::unique_lock<std::mutex> lk(mu_);
+            epochDone_.wait(lk, [this] { return runningWorkers_ == 0; });
+        }
+        ++epochs_;
+    }
+
+    Cycle end = 0;
+    for (const auto &q : queues_)
+        end = std::max(end, q->now());
+    return end;
+}
+
+std::size_t
+PartitionedScheduler::drainMailboxes()
+{
+    const unsigned n = partitions();
+    drainScratch_.clear();
+    for (unsigned src = 0; src < n; ++src) {
+        for (unsigned dst = 0; dst < n; ++dst) {
+            if (src == dst)
+                continue;
+            SpscMailbox &box = mailbox(src, dst);
+            SpscMailbox::Msg m;
+            while (box.pop(&m))
+                drainScratch_.push_back(
+                    DrainItem{src, dst, std::move(m)});
+        }
+    }
+    if (drainScratch_.empty())
+        return 0;
+    // Canonical delivery order: (source partition, cycle, send seq).
+    // Keys are unique (seq is per-source monotone), so the delivery
+    // order — and every tie-break seq the destination queues assign —
+    // is a pure function of the configuration.
+    std::sort(drainScratch_.begin(), drainScratch_.end(),
+              [](const DrainItem &a, const DrainItem &b) {
+                  if (a.src != b.src)
+                      return a.src < b.src;
+                  if (a.msg.deliverAt != b.msg.deliverAt)
+                      return a.msg.deliverAt < b.msg.deliverAt;
+                  return a.msg.seq < b.msg.seq;
+              });
+    for (auto &item : drainScratch_)
+        queues_[item.dst]->scheduleCallback(item.msg.deliverAt,
+                                            std::move(item.msg.fn));
+    std::size_t delivered = drainScratch_.size();
+    drainScratch_.clear();
+    return delivered;
+}
+
+void
+PartitionedScheduler::runEpochBody()
+{
+    const unsigned n = partitions();
+    for (;;) {
+        unsigned p = claim_.fetch_add(1, std::memory_order_relaxed);
+        if (p >= n)
+            break;
+        runPartitionEpoch(p);
+    }
+}
+
+void
+PartitionedScheduler::runPartitionEpoch(unsigned p)
+{
+    EventQueue &q = *queues_[p];
+    const Cycle horizon = horizons_[p];
+    if (!onExecute) {
+        q.runBelow(horizon);
+        return;
+    }
+    Cycle w;
+    std::uint64_t s;
+    while (q.peekHead(&w, &s) && w < horizon) {
+        onExecute(p, w, horizon);
+        q.step();
+    }
+}
+
+void
+PartitionedScheduler::workerLoop()
+{
+    std::uint64_t seenGen = 0;
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lk(mu_);
+            epochStart_.wait(lk, [&] {
+                return stopping_ || epochGen_ != seenGen;
+            });
+            if (stopping_)
+                return;
+            seenGen = epochGen_;
+        }
+        runEpochBody();
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            if (--runningWorkers_ == 0)
+                epochDone_.notify_all();
+        }
+    }
+}
+
+void
+PartitionedScheduler::sendPastHorizonPanic(unsigned src, unsigned dst,
+                                           Cycle deliver_at)
+{
+    panic("PartitionedScheduler: send " + std::to_string(src) + " -> " +
+          std::to_string(dst) + " at cycle " + std::to_string(deliver_at) +
+          " violates the pair lookahead (now " +
+          std::to_string(queues_[src]->now()) + " + " +
+          std::to_string(plan_.lookaheadBetween(src, dst)) + ")");
+}
+
+} // namespace tlsim

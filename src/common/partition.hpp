@@ -1,0 +1,331 @@
+/**
+ * @file
+ * Conservative partitioned-PDES kernel: PartitionPlan (node blocks +
+ * pairwise NoC lookahead), SpscMailbox (fixed-capacity cross-partition
+ * message ring) and PartitionedScheduler (per-partition slab
+ * EventQueues driven in one of two modes).
+ *
+ * **Ordered mode** (what the TLS engine uses): every partition queue
+ * draws tie-break sequence numbers from one shared counter and the
+ * scheduler k-way-merges queue heads by (when, seq) — the exact total
+ * order a single serial EventQueue would produce, so figures, traces,
+ * stat counters, fault RNG draws and memStateHash are byte-identical
+ * at any partition count. Execution is single-threaded (the engine's
+ * protocol state — version map, violation detector, NoC contention
+ * horizons — is globally shared and order-sensitive); partitioning
+ * buys event-set affinity and the migration path to sharded execution
+ * documented in DESIGN.md §9, not parallelism.
+ *
+ * **Parallel mode** (partition-confined event workloads: the PDES
+ * scaling bench and the scheduler tests): partitions really do run
+ * concurrently on persistent worker threads, synchronized by epoch
+ * barriers. The epoch window is conservative — partition p may
+ * execute every event strictly below
+ *     H_p = T + min_q lookahead[q][p]        (T = global min head time)
+ * because no other partition q can make a message appear at p earlier
+ * than its own clock (>= T) plus the minimum NoC latency from q to p.
+ * Cross-partition events travel through SPSC mailboxes and are drained
+ * at the barrier in canonical (source partition, cycle, seq) order, so
+ * delivery order is a pure function of the configuration, never of
+ * thread interleaving. See DESIGN.md §9.
+ */
+
+#ifndef TLSIM_COMMON_PARTITION_HPP
+#define TLSIM_COMMON_PARTITION_HPP
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/event_queue.hpp"
+#include "common/types.hpp"
+
+namespace tlsim {
+
+/**
+ * Static partitioning of a machine's NoC nodes into contiguous blocks,
+ * plus the pairwise conservative lookahead (minimum cross-partition
+ * message latency) that bounds the parallel mode's epoch windows.
+ *
+ * Blocks are contiguous in node order on purpose: mesh nodes are
+ * numbered row-major, so a contiguous block is a band of rows and the
+ * minimum Manhattan distance between two blocks grows with their
+ * index distance — bigger meshes and farther partner partitions get
+ * *more* lookahead, not less.
+ */
+struct PartitionPlan {
+    /** Number of partitions (>= 1). */
+    unsigned partitions = 1;
+    /** Number of NoC nodes covered. */
+    unsigned nodes = 1;
+    /** Block bounds: partition p owns nodes [firstNode[p], firstNode[p+1]). */
+    std::vector<unsigned> firstNode;
+    /** Row-major partitions x partitions matrix of minimum message
+     *  latency from src to dst partition; diagonal is 0 (local). */
+    std::vector<Cycle> lookahead;
+    /** Minimum off-diagonal lookahead (the tightest epoch window). */
+    Cycle minLookahead = 0;
+
+    /** Owning partition of @p node. */
+    unsigned
+    partitionOfNode(unsigned node) const
+    {
+        // Blocks differ in size by at most one node; divide, then fix
+        // up against the exact bounds.
+        unsigned guess = unsigned((std::uint64_t(node) * partitions) / nodes);
+        while (guess + 1 < partitions && node >= firstNode[guess + 1])
+            ++guess;
+        while (guess > 0 && node < firstNode[guess])
+            --guess;
+        return guess;
+    }
+
+    Cycle
+    lookaheadBetween(unsigned src, unsigned dst) const
+    {
+        return lookahead[src * partitions + dst];
+    }
+
+    /**
+     * Conservative horizon increment of partition @p dst: the minimum
+     * latency any *other* partition needs to reach it. With one
+     * partition there is no cross-traffic and the horizon is
+     * unbounded (kCycleNever).
+     */
+    Cycle horizonWindow(unsigned dst) const;
+
+    /**
+     * Build a plan over @p nodes nodes split into @p partitions
+     * contiguous blocks (clamped to [1, nodes]).
+     *
+     * @param min_msg_cycles minimum message latency between two nodes,
+     *        e.g. `net.minMsgCycles(a, b, machine.nocHopCycles)`.
+     *        The pairwise partition lookahead is the minimum over all
+     *        node pairs of the two blocks; on a mesh this is the hop
+     *        distance between the nearest block edges, so it scales
+     *        with partition distance. Latencies below 1 are clamped
+     *        to 1 cycle (a zero-lookahead fabric would serialize the
+     *        epoch loop).
+     */
+    static PartitionPlan
+    build(unsigned partitions, unsigned nodes,
+          const std::function<Cycle(unsigned, unsigned)> &min_msg_cycles);
+};
+
+/**
+ * Fixed-capacity single-producer / single-consumer mailbox carrying
+ * cross-partition events. One instance serves exactly one (src, dst)
+ * partition pair: the producer is whichever thread executes src's
+ * epoch, the consumer is the (single-threaded) barrier drain.
+ *
+ * Lock-free ring with acquire/release head/tail counters; overflow is
+ * a loud panic (capacity is a configuration contract, like the frozen
+ * FlatMap capacities of the scaled machines — conservative epochs
+ * bound the in-flight message count, so hitting the wall means the
+ * lookahead window or the capacity was mis-sized, not bad luck).
+ */
+class SpscMailbox
+{
+  public:
+    /** One in-flight cross-partition event. */
+    struct Msg {
+        /** Absolute delivery cycle (>= sender now + pair lookahead). */
+        Cycle deliverAt = 0;
+        /** Source-partition send order; with deliverAt it forms the
+         *  canonical drain key. */
+        std::uint64_t seq = 0;
+        EventQueue::Callback fn;
+    };
+
+    explicit SpscMailbox(std::size_t capacity = kDefaultCapacity);
+
+    /** Producer side. Panics on overflow. */
+    void push(Cycle deliver_at, std::uint64_t seq, EventQueue::Callback fn);
+
+    /** Consumer side: pop the oldest message. @return false if empty. */
+    bool pop(Msg *out);
+
+    /** Consumer-side emptiness check. */
+    bool
+    empty() const
+    {
+        return head_.load(std::memory_order_acquire) ==
+               tail_.load(std::memory_order_acquire);
+    }
+
+    std::size_t capacity() const { return ring_.size(); }
+
+    static constexpr std::size_t kDefaultCapacity = 4096;
+
+  private:
+    [[noreturn]] void overflowPanic();
+
+    std::vector<Msg> ring_;
+    /** Next slot to pop; owned by the consumer, read by the producer. */
+    std::atomic<std::size_t> head_{0};
+    /** Next slot to fill; owned by the producer, read by the consumer. */
+    std::atomic<std::size_t> tail_{0};
+};
+
+/**
+ * Drives one simulation point over per-partition EventQueues.
+ *
+ * See the file comment for the two modes. Queues are stable for the
+ * scheduler's lifetime — consumers may hold queue references (cores)
+ * and nowPtr() bindings (the tracer).
+ */
+class PartitionedScheduler
+{
+  public:
+    enum class Mode {
+        /** Single-threaded k-way merge, byte-identical to a serial
+         *  EventQueue (shared tie-break sequence). */
+        Ordered,
+        /** Epoch-barrier parallel execution with mailbox messaging;
+         *  requires partition-confined event handlers. */
+        Parallel
+    };
+
+    /**
+     * @param partitions number of partition queues (>= 1).
+     * @param mode       execution mode (see Mode).
+     * @param workers    parallel-mode executor threads, clamped to
+     *                   [1, partitions]; 0 = one per partition. With
+     *                   1 worker epochs run inline on the caller.
+     *                   Ignored in ordered mode. Results are
+     *                   byte-identical for every worker count.
+     */
+    explicit PartitionedScheduler(unsigned partitions,
+                                  Mode mode = Mode::Ordered,
+                                  unsigned workers = 0);
+    ~PartitionedScheduler();
+
+    PartitionedScheduler(const PartitionedScheduler &) = delete;
+    PartitionedScheduler &operator=(const PartitionedScheduler &) = delete;
+
+    /** Install the lookahead plan (parallel mode requires one before
+     *  run(); ordered mode keeps it for reporting only). */
+    void setPlan(PartitionPlan plan);
+    const PartitionPlan &plan() const { return plan_; }
+
+    unsigned partitions() const { return unsigned(queues_.size()); }
+    Mode mode() const { return mode_; }
+
+    /** Partition @p p's event queue (stable address). */
+    EventQueue &queue(unsigned p) { return *queues_[p]; }
+    const EventQueue &queue(unsigned p) const { return *queues_[p]; }
+
+    /**
+     * Run until every queue (and, in parallel mode, every mailbox)
+     * drains, or the next event would fire past @p maxCycle.
+     * @return the final simulated time.
+     */
+    Cycle run(Cycle maxCycle = kCycleNever);
+
+    /**
+     * Parallel mode: post @p fn to partition @p dst, firing at
+     * absolute cycle @p deliver_at. Must be called from the executor
+     * of partition @p src, with
+     *   deliver_at >= queue(src).now() + plan.lookaheadBetween(src, dst)
+     * (enforced; violating it would break the conservative horizon).
+     * Local sends (src == dst) schedule directly. Delivery lands at
+     * the next epoch barrier, in canonical (src, cycle, seq) order.
+     */
+    template <typename F>
+    void
+    send(unsigned src, unsigned dst, Cycle deliver_at, F &&fn)
+    {
+        if (src == dst) {
+            queues_[src]->schedule(deliver_at, std::forward<F>(fn));
+            return;
+        }
+        if (deliver_at <
+            queues_[src]->now() + plan_.lookaheadBetween(src, dst))
+            sendPastHorizonPanic(src, dst, deliver_at);
+        mailbox(src, dst).push(deliver_at, sendSeq_[src]++,
+                               EventQueue::Callback(std::forward<F>(fn)));
+    }
+
+    /** @name Statistics */
+    ///@{
+    /** Events executed across all queues. */
+    std::uint64_t executedEvents() const;
+    /** Parallel mode: epoch barriers crossed. */
+    std::uint64_t epochs() const { return epochs_; }
+    /** Parallel mode: cross-partition messages delivered. */
+    std::uint64_t messagesDelivered() const { return messages_; }
+    ///@}
+
+    /**
+     * Test hook (parallel mode): invoked before each executed event as
+     * (partition, event cycle, partition horizon). The epoch-safety
+     * property test asserts cycle < horizon for every execution.
+     * Runs on executor threads — the hook must be thread-safe.
+     */
+    std::function<void(unsigned, Cycle, Cycle)> onExecute;
+
+  private:
+    SpscMailbox &
+    mailbox(unsigned src, unsigned dst)
+    {
+        return *mailboxes_[src * queues_.size() + dst];
+    }
+
+    Cycle runOrdered(Cycle maxCycle);
+    Cycle runParallel(Cycle maxCycle);
+    /** Barrier-side mailbox drain in canonical (src, cycle, seq) order.
+     *  @return number of messages delivered. */
+    std::size_t drainMailboxes();
+    /** Execute partition @p p's events strictly below its horizon. */
+    void runPartitionEpoch(unsigned p);
+    void workerLoop();
+    void runEpochBody();
+    [[noreturn]] void sendPastHorizonPanic(unsigned src, unsigned dst,
+                                           Cycle deliver_at);
+
+    Mode mode_;
+    std::vector<std::unique_ptr<EventQueue>> queues_;
+    PartitionPlan plan_;
+
+    /** Ordered mode: the shared tie-break sequence all queues draw
+     *  from (bound via EventQueue::bindSequence). */
+    std::uint64_t sharedSeq_ = 1;
+
+    // --- parallel mode ---
+    std::vector<std::unique_ptr<SpscMailbox>> mailboxes_;
+    /** Per-source send counters (canonical drain key component). */
+    std::vector<std::uint64_t> sendSeq_;
+    /** Per-partition epoch horizons, published before the epoch. */
+    std::vector<Cycle> horizons_;
+    /** Scratch for the canonical drain sort. */
+    struct DrainItem {
+        unsigned src, dst;
+        SpscMailbox::Msg msg;
+    };
+    std::vector<DrainItem> drainScratch_;
+
+    // Persistent executor threads + generation barrier.
+    unsigned workers_ = 1;
+    std::vector<std::thread> threads_;
+    std::mutex mu_;
+    std::condition_variable epochStart_;
+    std::condition_variable epochDone_;
+    std::uint64_t epochGen_ = 0;
+    unsigned runningWorkers_ = 0;
+    bool stopping_ = false;
+    /** Next partition to claim within the current epoch. */
+    std::atomic<unsigned> claim_{0};
+
+    std::uint64_t epochs_ = 0;
+    std::uint64_t messages_ = 0;
+};
+
+} // namespace tlsim
+
+#endif // TLSIM_COMMON_PARTITION_HPP

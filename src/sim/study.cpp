@@ -29,13 +29,14 @@ AppStudy::busyShare(std::size_t idx) const
 tls::RunResult
 runScheme(const apps::AppParams &app, const tls::SchemeConfig &scheme,
           const mem::MachineParams &machine,
-          const fault::FaultSpec &faults)
+          const fault::FaultSpec &faults, unsigned partitions)
 {
     apps::LoopWorkload workload(app);
     tls::EngineConfig cfg;
     cfg.scheme = scheme;
     cfg.machine = machine;
     cfg.faults = faults;
+    cfg.partitions = partitions;
     if (faults.anyEnabled()) {
         // Identity-hash discipline (see derivePointSeed): the plan's
         // streams depend only on (spec seed, workload seed), never on
@@ -84,11 +85,11 @@ namespace {
 tls::RunResult
 runReplication(const apps::AppParams &app, const tls::SchemeConfig &scheme,
                const mem::MachineParams &machine, unsigned rep,
-               const fault::FaultSpec &faults)
+               const fault::FaultSpec &faults, unsigned partitions)
 {
     apps::AppParams varied = app;
     varied.seed = derivePointSeed(app.seed, app.name, scheme, rep);
-    return runScheme(varied, scheme, machine, faults);
+    return runScheme(varied, scheme, machine, faults, partitions);
 }
 
 /**
@@ -121,11 +122,16 @@ std::vector<AppStudy>
 runStudySweep(const std::vector<apps::AppParams> &apps,
               const std::vector<tls::SchemeConfig> &schemes,
               const mem::MachineParams &machine, unsigned replications,
-              unsigned threads, const fault::FaultSpec &faults)
+              unsigned threads, const fault::FaultSpec &faults,
+              unsigned partitions)
 {
     const unsigned reps = std::max(1u, replications);
     const std::size_t n_apps = apps.size();
     const std::size_t n_schemes = schemes.size();
+    // Shared thread budget: the sweep's fan-out shrinks when each
+    // point partitions internally, so sweep x partitions never
+    // oversubscribes the cores TLSIM_THREADS (or the hardware) grants.
+    const unsigned pool_threads = budgetedSweepThreads(threads, partitions);
 
     // Trace-stream identity of every point in this sweep. The ordinal
     // distinguishes repeated sweeps over the same (app, machine) pair
@@ -140,7 +146,7 @@ runStudySweep(const std::vector<apps::AppParams> &apps,
     std::vector<Cycle> seq_times(n_apps, 0);
     std::vector<tls::RunResult> runs(n_apps * n_schemes * reps);
 
-    TaskPool pool(threads);
+    TaskPool pool(pool_threads);
     for (std::size_t a = 0; a < n_apps; ++a) {
         pool.submit([&, a] {
             // Each job declares the (stream, rep) its records belong
@@ -159,8 +165,9 @@ runStudySweep(const std::vector<apps::AppParams> &apps,
                         trace::streamId(apps[a].name, machine.name,
                                         sweep_ordinal),
                         std::uint8_t(rep));
-                    runs[slot] = runReplication(apps[a], schemes[s],
-                                                machine, rep, faults);
+                    runs[slot] =
+                        runReplication(apps[a], schemes[s], machine, rep,
+                                       faults, partitions);
                 });
             }
         }
@@ -191,13 +198,14 @@ tls::RunResult
 runSynthScheme(const apps::SynthSpec &spec,
                const tls::SchemeConfig &scheme,
                const mem::MachineParams &machine,
-               const fault::FaultSpec &faults)
+               const fault::FaultSpec &faults, unsigned partitions)
 {
     apps::SynthWorkload workload(spec);
     tls::EngineConfig cfg;
     cfg.scheme = scheme;
     cfg.machine = machine;
     cfg.faults = faults;
+    cfg.partitions = partitions;
     if (faults.anyEnabled())
         cfg.faults.seed = fault::deriveFaultSeed(faults.seed, spec.seed);
     tls::SpeculationEngine engine(cfg, workload);
@@ -237,17 +245,18 @@ std::vector<SynthStudy>
 runSynthSweep(const std::vector<apps::SynthSpec> &specs,
               const std::vector<tls::SchemeConfig> &schemes,
               const mem::MachineParams &machine, unsigned threads,
-              const fault::FaultSpec &faults)
+              const fault::FaultSpec &faults, unsigned partitions)
 {
     const std::size_t n_specs = specs.size();
     const std::size_t n_schemes = schemes.size();
     const unsigned sweep_ordinal = trace::nextSweepOrdinal();
     const tls::BufferSizing sizing = bufferSizingOf(machine);
+    const unsigned pool_threads = budgetedSweepThreads(threads, partitions);
 
     std::vector<Cycle> seq_times(n_specs, 0);
     std::vector<tls::RunResult> runs(n_specs * n_schemes);
 
-    TaskPool pool(threads);
+    TaskPool pool(pool_threads);
     for (std::size_t i = 0; i < n_specs; ++i) {
         pool.submit([&, i] {
             trace::ScopedPoint point(
@@ -264,8 +273,8 @@ runSynthSweep(const std::vector<apps::SynthSpec> &specs,
                     trace::streamId(specs[i].name(), machine.name,
                                     sweep_ordinal),
                     0);
-                runs[slot] =
-                    runSynthScheme(specs[i], schemes[s], machine, faults);
+                runs[slot] = runSynthScheme(specs[i], schemes[s], machine,
+                                            faults, partitions);
             });
         }
     }
@@ -297,10 +306,11 @@ AppStudy
 runAppStudy(const apps::AppParams &app,
             const std::vector<tls::SchemeConfig> &schemes,
             const mem::MachineParams &machine, unsigned replications,
-            unsigned threads, const fault::FaultSpec &faults)
+            unsigned threads, const fault::FaultSpec &faults,
+            unsigned partitions)
 {
     return runStudySweep({app}, schemes, machine, replications, threads,
-                         faults)[0];
+                         faults, partitions)[0];
 }
 
 std::string

@@ -16,6 +16,7 @@
 
 #include "common/event_queue.hpp"
 #include "common/fault.hpp"
+#include "common/partition.hpp"
 #include "common/stats.hpp"
 #include "cpu/core.hpp"
 #include "cpu/mem_if.hpp"
@@ -52,6 +53,18 @@ struct EngineConfig {
      * baseline has no speculation machinery to stress.
      */
     fault::FaultSpec faults;
+    /**
+     * Partitions of the partitioned-PDES scheduler (0 =
+     * TLSIM_PARTITIONS env or 1; see resolvePartitionCount). The
+     * machine is cut into contiguous NoC-node blocks, each with its
+     * own slab EventQueue; the engine drives them in *ordered* mode —
+     * a k-way merge with a shared tie-break sequence that reproduces
+     * the serial total order exactly, so every output (figures,
+     * traces, counters, memStateHash, fault RNG draws) is
+     * byte-identical at any partition count. Clamped to the machine's
+     * processor count; forced to 1 in sequential mode.
+     */
+    unsigned partitions = 0;
 };
 
 /**
@@ -98,7 +111,15 @@ class SpeculationEngine : public cpu::SpecMemoryIf,
     EngineConfig cfg_;
     Workload &workload_;
 
-    EventQueue eq_;
+    /**
+     * Partition queues + ordered k-way merge (see EngineConfig::
+     * partitions). Cores schedule on their partition's queue; the
+     * engine's own protocol events (commit chain, barriers, recovery)
+     * live on queue 0.
+     */
+    PartitionedScheduler sched_;
+    /** Queue 0 — the engine-global event queue and trace clock. */
+    EventQueue &eq_;
 
     /** Fault injector (inert unless cfg_.faults enables a site). */
     fault::FaultPlan faults_;

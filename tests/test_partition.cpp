@@ -1,0 +1,555 @@
+/**
+ * @file
+ * Tests for the partitioned-PDES kernel (DESIGN.md §9): PartitionPlan
+ * block/lookahead geometry, the SPSC mailbox, ordered-mode equivalence
+ * with a serial EventQueue, parallel-mode determinism across worker
+ * counts, and the epoch-safety property (no event ever executes at or
+ * past its partition's conservative horizon, even under adversarial
+ * minimal-latency messaging with fault-injected delay jitter).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "common/fault.hpp"
+#include "common/partition.hpp"
+#include "common/resource.hpp"
+#include "common/task_pool.hpp"
+#include "noc/crossbar.hpp"
+#include "noc/mesh.hpp"
+
+using namespace tlsim;
+
+// ---------------------------------------------------------------
+// PartitionPlan
+// ---------------------------------------------------------------
+
+namespace {
+
+PartitionPlan
+meshPlan(unsigned partitions, unsigned w, unsigned h, Cycle hop)
+{
+    noc::Mesh2D mesh(w, h);
+    return PartitionPlan::build(
+        partitions, mesh.numNodes(),
+        [&mesh, hop](unsigned a, unsigned b) {
+            return mesh.minMsgCycles(a, b, hop);
+        });
+}
+
+} // namespace
+
+TEST(PartitionPlan, BlocksAreContiguousAndBalanced)
+{
+    for (unsigned parts : {1u, 2u, 3u, 4u, 7u, 16u}) {
+        PartitionPlan plan = meshPlan(parts, 4, 4, 32);
+        ASSERT_EQ(plan.partitions, std::min(parts, 16u));
+        ASSERT_EQ(plan.firstNode.size(), plan.partitions + 1u);
+        EXPECT_EQ(plan.firstNode.front(), 0u);
+        EXPECT_EQ(plan.firstNode.back(), 16u);
+        unsigned min_sz = 16, max_sz = 0;
+        for (unsigned p = 0; p < plan.partitions; ++p) {
+            unsigned sz = plan.firstNode[p + 1] - plan.firstNode[p];
+            ASSERT_GE(sz, 1u);
+            min_sz = std::min(min_sz, sz);
+            max_sz = std::max(max_sz, sz);
+            for (unsigned n = plan.firstNode[p];
+                 n < plan.firstNode[p + 1]; ++n)
+                EXPECT_EQ(plan.partitionOfNode(n), p) << "node " << n;
+        }
+        EXPECT_LE(max_sz - min_sz, 1u) << "parts=" << parts;
+    }
+}
+
+TEST(PartitionPlan, ClampsPartitionCountToNodes)
+{
+    PartitionPlan plan = meshPlan(64, 2, 2, 10);
+    EXPECT_EQ(plan.partitions, 4u);
+    EXPECT_EQ(plan.nodes, 4u);
+}
+
+TEST(PartitionPlan, MeshLookaheadScalesWithPartitionDistance)
+{
+    // 8x8 mesh, row-major nodes, 4 contiguous blocks = 4 bands of two
+    // rows each. Nearest-edge Manhattan distance grows with band
+    // distance, so lookahead(0,3) > lookahead(0,1).
+    PartitionPlan plan = meshPlan(4, 8, 8, 32);
+    Cycle near = plan.lookaheadBetween(0, 1);
+    Cycle far = plan.lookaheadBetween(0, 3);
+    EXPECT_EQ(near, 32u);      // adjacent bands: one hop minimum
+    EXPECT_EQ(far, 5u * 32u);  // rows 0..1 -> rows 6..7: 5 hops
+    EXPECT_GT(far, near);
+    // Symmetric fabric, symmetric plan.
+    EXPECT_EQ(plan.lookaheadBetween(3, 0), far);
+    EXPECT_EQ(plan.lookaheadBetween(0, 0), 0u);
+    EXPECT_EQ(plan.minLookahead, near);
+}
+
+TEST(PartitionPlan, CrossbarLookaheadIsUniform)
+{
+    noc::Crossbar xbar(8);
+    PartitionPlan plan = PartitionPlan::build(
+        4, 8, [&xbar](unsigned a, unsigned b) {
+            return xbar.minMsgCycles(a, b, 9);
+        });
+    for (unsigned s = 0; s < 4; ++s)
+        for (unsigned d = 0; d < 4; ++d)
+            EXPECT_EQ(plan.lookaheadBetween(s, d), s == d ? 0u : 9u);
+}
+
+TEST(PartitionPlan, ZeroLatencyFabricIsFlooredToOneCycle)
+{
+    // A zero-lookahead fabric would serialize the epoch loop; build()
+    // clamps pairwise lookahead to >= 1 cycle.
+    PartitionPlan plan = PartitionPlan::build(
+        2, 4, [](unsigned, unsigned) { return Cycle(0); });
+    EXPECT_EQ(plan.lookaheadBetween(0, 1), 1u);
+    EXPECT_EQ(plan.minLookahead, 1u);
+}
+
+TEST(PartitionPlan, HorizonWindowIsMinIncomingLookahead)
+{
+    PartitionPlan plan = meshPlan(4, 8, 8, 32);
+    for (unsigned d = 0; d < 4; ++d) {
+        Cycle expect = kCycleNever;
+        for (unsigned s = 0; s < 4; ++s)
+            if (s != d)
+                expect = std::min(expect, plan.lookaheadBetween(s, d));
+        EXPECT_EQ(plan.horizonWindow(d), expect) << "dst=" << d;
+    }
+    // One partition: no cross-traffic, unbounded horizon.
+    PartitionPlan one = meshPlan(1, 8, 8, 32);
+    EXPECT_EQ(one.horizonWindow(0), kCycleNever);
+}
+
+// ---------------------------------------------------------------
+// SpscMailbox
+// ---------------------------------------------------------------
+
+TEST(PartitionMailbox, DeliversInFifoOrder)
+{
+    SpscMailbox box(16);
+    std::vector<int> log;
+    for (int i = 0; i < 10; ++i)
+        box.push(Cycle(100 + i), std::uint64_t(i),
+                 EventQueue::Callback([&log, i] { log.push_back(i); }));
+    SpscMailbox::Msg msg;
+    std::uint64_t expect_seq = 0;
+    while (box.pop(&msg)) {
+        EXPECT_EQ(msg.seq, expect_seq);
+        EXPECT_EQ(msg.deliverAt, Cycle(100 + expect_seq));
+        msg.fn();
+        ++expect_seq;
+    }
+    EXPECT_TRUE(box.empty());
+    ASSERT_EQ(log.size(), 10u);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(log[i], i);
+}
+
+TEST(PartitionMailbox, SingleProducerSingleConsumerThreaded)
+{
+    SpscMailbox box(64);
+    constexpr int kMsgs = 20'000;
+    constexpr int kBurst = 32; // half capacity: bursts can never overflow
+    std::atomic<long> sum{0};
+
+    std::thread producer([&box] {
+        for (int i = 0; i < kMsgs; ++i) {
+            box.push(Cycle(i), std::uint64_t(i),
+                     EventQueue::Callback([] {}));
+            // push() panics on overflow by contract (the scheduler's
+            // epochs bound in-flight messages), so this stress test
+            // provides its own backpressure: drain fully between
+            // bursts of half the ring.
+            if (i % kBurst == kBurst - 1)
+                while (!box.empty())
+                    std::this_thread::yield();
+        }
+    });
+    std::thread consumer([&box, &sum] {
+        SpscMailbox::Msg msg;
+        long got = 0, local = 0;
+        std::uint64_t expect = 0;
+        while (got < kMsgs) {
+            if (box.pop(&msg)) {
+                EXPECT_EQ(msg.seq, expect); // strict FIFO across threads
+                ++expect;
+                local += long(msg.deliverAt);
+                ++got;
+            } else {
+                std::this_thread::yield();
+            }
+        }
+        sum.store(local);
+    });
+    producer.join();
+    consumer.join();
+    EXPECT_EQ(sum.load(), long(kMsgs) * (kMsgs - 1) / 2);
+}
+
+// ---------------------------------------------------------------
+// Ordered mode: exact serial equivalence
+// ---------------------------------------------------------------
+
+namespace {
+
+/**
+ * Schedules an interleaved, tie-heavy event pattern. @p enqueue maps a
+ * logical stream id to the EventQueue that should hold the event, so
+ * the same pattern can run on one serial queue or spread over N
+ * partition queues.
+ */
+template <typename Enqueue>
+void
+seedWorkload(std::vector<int> &log, const Enqueue &enqueue)
+{
+    // Lots of equal-cycle ties across streams: ordered mode must
+    // resolve every one exactly like the serial queue (shared
+    // sequence counter == allocation order == schedule call order).
+    for (int burst = 0; burst < 8; ++burst)
+        for (int stream = 0; stream < 4; ++stream) {
+            int id = burst * 4 + stream;
+            EventQueue *eq = &enqueue(stream);
+            eq->schedule(Cycle(10 * (burst % 3) + 5), [&log, id, eq] {
+                log.push_back(id);
+                // Nested reschedule with a tie as well.
+                eq->schedule(eq->now() + 7,
+                             [&log, id] { log.push_back(1000 + id); });
+            });
+        }
+}
+
+} // namespace
+
+TEST(PartitionOrdered, MatchesSerialEventQueueExactly)
+{
+    std::vector<int> serial_log;
+    {
+        EventQueue eq;
+        seedWorkload(serial_log,
+                     [&eq](int) -> EventQueue & { return eq; });
+        eq.run();
+    }
+    ASSERT_EQ(serial_log.size(), 64u);
+
+    for (unsigned parts : {1u, 2u, 4u}) {
+        std::vector<int> log;
+        PartitionedScheduler sched(parts,
+                                   PartitionedScheduler::Mode::Ordered);
+        seedWorkload(log, [&sched, parts](int stream) -> EventQueue & {
+            return sched.queue(unsigned(stream) % parts);
+        });
+        Cycle end = sched.run();
+        EXPECT_EQ(log, serial_log) << "partitions=" << parts;
+        EXPECT_GT(end, 0u);
+        EXPECT_EQ(sched.executedEvents(), 64u);
+    }
+}
+
+TEST(PartitionOrdered, SingleQueueDelegatesToSerialRun)
+{
+    // P == 1 is the engine's default configuration; it must behave
+    // exactly like (and cost no more than) a bare EventQueue::run.
+    PartitionedScheduler sched(1);
+    int fired = 0;
+    sched.queue(0).schedule(5, [&] { ++fired; });
+    sched.queue(0).schedule(9, [&] { ++fired; });
+    EXPECT_EQ(sched.run(), 9u);
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(sched.queue(0).now(), 9u);
+}
+
+TEST(PartitionOrdered, SyncsAllQueueClocksToTheMergeTime)
+{
+    // Consumers read time through their own partition queue (cores,
+    // tracer); the merge must advance every clock, not just the
+    // executing queue's.
+    PartitionedScheduler sched(2,
+                               PartitionedScheduler::Mode::Ordered);
+    Cycle seen_other = 0;
+    sched.queue(0).schedule(50, [&] {
+        seen_other = sched.queue(1).now();
+    });
+    sched.run();
+    EXPECT_EQ(seen_other, 50u);
+}
+
+TEST(PartitionOrdered, RespectsMaxCycle)
+{
+    PartitionedScheduler sched(2,
+                               PartitionedScheduler::Mode::Ordered);
+    int fired = 0;
+    sched.queue(0).schedule(10, [&] { ++fired; });
+    sched.queue(1).schedule(20, [&] { ++fired; });
+    sched.run(15);
+    EXPECT_EQ(fired, 1);
+    sched.run();
+    EXPECT_EQ(fired, 2);
+}
+
+// ---------------------------------------------------------------
+// Parallel mode
+// ---------------------------------------------------------------
+
+namespace {
+
+/** Per-partition ping-around workload with cross-partition sends at
+ *  exactly the lookahead bound; returns a determinism digest. */
+struct ParallelRun {
+    std::vector<long> fired;
+    std::vector<long> received;
+    std::vector<Cycle> finalNow;
+    std::uint64_t epochs = 0;
+    std::uint64_t messages = 0;
+    Cycle end = 0;
+
+    bool
+    operator==(const ParallelRun &o) const
+    {
+        return fired == o.fired && received == o.received &&
+               finalNow == o.finalNow && epochs == o.epochs &&
+               messages == o.messages && end == o.end;
+    }
+};
+
+ParallelRun
+runParallelWorkload(unsigned partitions, unsigned workers, long quota)
+{
+    PartitionPlan plan = meshPlan(partitions, 8, 8, 32);
+    PartitionedScheduler sched(
+        partitions, PartitionedScheduler::Mode::Parallel, workers);
+    sched.setPlan(plan);
+
+    struct Driver {
+        PartitionedScheduler *sched;
+        Driver *base;
+        unsigned p;
+        long quota;
+        long fired = 0;
+        long received = 0;
+
+        void
+        next()
+        {
+            sched->queue(p).scheduleIn(Cycle(p % 5) + 1,
+                                       [this] { fire(); });
+        }
+        void
+        fire()
+        {
+            ++fired;
+            if (fired >= quota)
+                return;
+            if (fired % 16 == 3 && sched->partitions() > 1) {
+                unsigned dst = (p + 1) % sched->partitions();
+                Driver *peer = base + dst;
+                Cycle at =
+                    sched->queue(p).now() +
+                    sched->plan().lookaheadBetween(p, dst);
+                sched->send(p, dst, at,
+                            [peer] { ++peer->received; });
+            }
+            next();
+        }
+    };
+
+    std::vector<Driver> drivers;
+    drivers.reserve(partitions);
+    for (unsigned p = 0; p < partitions; ++p)
+        drivers.push_back(Driver{&sched, nullptr, p, quota});
+    for (Driver &d : drivers)
+        d.base = drivers.data();
+    for (Driver &d : drivers)
+        d.next();
+
+    ParallelRun out;
+    out.end = sched.run();
+    for (Driver &d : drivers) {
+        out.fired.push_back(d.fired);
+        out.received.push_back(d.received);
+        out.finalNow.push_back(sched.queue(d.p).now());
+    }
+    out.epochs = sched.epochs();
+    out.messages = sched.messagesDelivered();
+    return out;
+}
+
+} // namespace
+
+TEST(PartitionParallel, CompletesAndDeliversAllMessages)
+{
+    ParallelRun run = runParallelWorkload(4, 0, 500);
+    for (long f : run.fired)
+        EXPECT_EQ(f, 500);
+    EXPECT_GT(run.messages, 0u);
+    EXPECT_GT(run.epochs, 1u);
+    long recv_total = 0;
+    for (long r : run.received)
+        recv_total += r;
+    EXPECT_EQ(std::uint64_t(recv_total), run.messages);
+}
+
+TEST(PartitionParallel, ByteIdenticalAcrossWorkerCounts)
+{
+    // The whole point of conservative epochs + canonical mailbox
+    // drain: thread interleaving must never leak into results.
+    ParallelRun base = runParallelWorkload(4, 1, 400);
+    for (unsigned workers : {2u, 4u}) {
+        ParallelRun got = runParallelWorkload(4, workers, 400);
+        EXPECT_TRUE(got == base) << "workers=" << workers;
+    }
+}
+
+TEST(PartitionParallel, SinglePartitionRunsWithoutAPlanHorizon)
+{
+    ParallelRun run = runParallelWorkload(1, 1, 300);
+    EXPECT_EQ(run.fired[0], 300);
+    EXPECT_EQ(run.messages, 0u);
+    EXPECT_EQ(run.epochs, 1u); // unbounded horizon: one epoch drains all
+}
+
+TEST(PartitionParallelDeath, RejectsSendBelowTheLookaheadBound)
+{
+    // A message that could land inside the receiver's current epoch
+    // would break the conservative horizon; the scheduler panics loudly
+    // instead of corrupting the timeline.
+    testing::GTEST_FLAG(death_test_style) = "threadsafe";
+    ASSERT_DEATH(
+        {
+            PartitionedScheduler sched(
+                2, PartitionedScheduler::Mode::Parallel, 1);
+            sched.setPlan(meshPlan(2, 8, 8, 32));
+            sched.queue(0).schedule(10, [&sched] {
+                // lookahead(0,1) is 32; now+1 is far below the bound.
+                sched.send(0, 1, sched.queue(0).now() + 1, [] {});
+            });
+            sched.run();
+        },
+        "lookahead");
+}
+
+// ---------------------------------------------------------------
+// Epoch safety property
+// ---------------------------------------------------------------
+
+TEST(PartitionEpochSafety, NoEventExecutesAtOrPastItsHorizon)
+{
+    // Adversarial schedule: every partition sends minimal-latency
+    // messages (deliver exactly at now + lookahead, the tightest legal
+    // bound) plus fault-jittered ones drawn from the FaultPlan NoC
+    // delay site, so deliveries land exactly on and just past epoch
+    // boundaries. The conservative-horizon invariant must hold for
+    // every executed event: cycle < horizon of its partition's epoch.
+    fault::FaultSpec spec;
+    std::string err;
+    ASSERT_TRUE(fault::FaultSpec::parse("seed=11,noc-delay=0.5:17",
+                                        &spec, &err))
+        << err;
+    fault::FaultPlan jitter(spec);
+    Resource dummy_link;
+
+    constexpr unsigned kParts = 4;
+    PartitionPlan plan = meshPlan(kParts, 8, 8, 32);
+    PartitionedScheduler sched(
+        kParts, PartitionedScheduler::Mode::Parallel, kParts);
+    sched.setPlan(plan);
+
+    std::atomic<long> executed{0};
+    std::atomic<long> violations{0};
+    sched.onExecute = [&](unsigned, Cycle when, Cycle horizon) {
+        executed.fetch_add(1, std::memory_order_relaxed);
+        if (when >= horizon)
+            violations.fetch_add(1, std::memory_order_relaxed);
+    };
+
+    struct Driver {
+        PartitionedScheduler *sched;
+        fault::FaultPlan *jitter;
+        Resource *link;
+        unsigned p;
+        long quota;
+        long fired = 0;
+        long received = 0;
+
+        void
+        next()
+        {
+            sched->queue(p).scheduleIn(1, [this] { fire(); });
+        }
+        void
+        fire()
+        {
+            ++fired;
+            if (fired >= quota)
+                return;
+            // Send to every other partition at exactly the lookahead
+            // bound, with fault-drawn extra delay half the time (the
+            // jitter keeps deliveries from all landing on the same
+            // boundary pattern).
+            for (unsigned dst = 0; dst < sched->partitions(); ++dst) {
+                if (dst == p || fired % 8 != 1)
+                    continue;
+                Cycle at = sched->queue(p).now() +
+                           sched->plan().lookaheadBetween(p, dst);
+                if (p == 0) // single producer for the shared plan/link
+                    at += jitter->nocLinkFault(*link,
+                                               sched->queue(p).now());
+                Driver *peer = this - std::ptrdiff_t(p) + dst;
+                sched->send(p, dst, at, [peer] { ++peer->received; });
+            }
+            next();
+        }
+    };
+
+    std::vector<Driver> drivers;
+    drivers.reserve(kParts);
+    for (unsigned p = 0; p < kParts; ++p)
+        drivers.push_back(
+            Driver{&sched, &jitter, &dummy_link, p, 600});
+    for (Driver &d : drivers)
+        d.next();
+    sched.run();
+
+    for (const Driver &d : drivers)
+        EXPECT_EQ(d.fired, 600);
+    EXPECT_GT(sched.messagesDelivered(), 0u);
+    EXPECT_GT(executed.load(), long(kParts) * 600);
+    EXPECT_EQ(violations.load(), 0)
+        << "an event executed at or past its partition's horizon";
+}
+
+// ---------------------------------------------------------------
+// Partition-count resolution & thread budgeting
+// ---------------------------------------------------------------
+
+TEST(PartitionCount, EnvAndFlagPrecedence)
+{
+    ASSERT_EQ(setenv("TLSIM_PARTITIONS", "3", 1), 0);
+    EXPECT_EQ(defaultPartitionCount(), 3u);
+    EXPECT_EQ(resolvePartitionCount(0), 3u);
+    EXPECT_EQ(resolvePartitionCount(5), 5u); // explicit beats env
+    ASSERT_EQ(setenv("TLSIM_PARTITIONS", "garbage", 1), 0);
+    EXPECT_EQ(defaultPartitionCount(), 1u);
+    ASSERT_EQ(unsetenv("TLSIM_PARTITIONS"), 0);
+    EXPECT_EQ(defaultPartitionCount(), 1u);
+    EXPECT_EQ(resolvePartitionCount(0), 1u);
+}
+
+TEST(PartitionCount, SweepBudgetNeverOversubscribes)
+{
+    // threads x partitions <= budget: the sweep divides its fan-out by
+    // the per-point partition count, floored at one worker.
+    ASSERT_EQ(unsetenv("TLSIM_PARTITIONS"), 0);
+    EXPECT_EQ(budgetedSweepThreads(8, 2), 4u);
+    EXPECT_EQ(budgetedSweepThreads(8, 8), 1u);
+    EXPECT_EQ(budgetedSweepThreads(8, 16), 1u);
+    EXPECT_EQ(budgetedSweepThreads(8, 1), 8u);
+    EXPECT_EQ(budgetedSweepThreads(8, 0), 8u);
+    EXPECT_EQ(budgetedSweepThreads(1, 4), 1u);
+}

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * The partitioned-PDES determinism matrix (DESIGN.md §9): every
+ * observable of a simulation point — RunResult fields, stat counters,
+ * memStateHash, the rendered figure table and the drained task-lifetime
+ * trace — must be byte-identical across partition counts (1, 2, 4) and
+ * sweep thread counts (1, 2), on both a Figure-9-style application
+ * point and a mesh64 synthetic point. The scheduler's ordered mode
+ * makes this exact, not statistical.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/trace.hpp"
+#include "sim/study.hpp"
+
+using namespace tlsim;
+
+namespace {
+
+tls::SchemeConfig
+mvLazy()
+{
+    return {tls::Separation::MultiTMV, tls::Merging::LazyAMM, false};
+}
+
+apps::AppParams
+smallTree()
+{
+    apps::AppParams app = apps::tree();
+    app.numTasks = 48;
+    app.instrPerTask = 3000;
+    return app;
+}
+
+apps::SynthSpec
+mesh64Spec()
+{
+    apps::SynthSpec spec;
+    std::string err;
+    // Graph kind squashes, so the point exercises squash/replay and
+    // fault-free undo paths, not just the happy path.
+    EXPECT_TRUE(apps::SynthSpec::parse(
+        "kind=graph,tasks=48,conflict=0.2,seed=5", &spec, &err))
+        << err;
+    return spec;
+}
+
+void
+expectIdentical(const tls::RunResult &a, const tls::RunResult &b,
+                const std::string &what)
+{
+    EXPECT_EQ(a.execTime, b.execTime) << what;
+    EXPECT_EQ(a.committedTasks, b.committedTasks) << what;
+    EXPECT_EQ(a.squashEvents, b.squashEvents) << what;
+    EXPECT_EQ(a.tasksSquashed, b.tasksSquashed) << what;
+    EXPECT_EQ(a.memStateHash, b.memStateHash) << what;
+    EXPECT_EQ(a.memStateLines, b.memStateLines) << what;
+    EXPECT_EQ(a.avgSpecTasksSystem, b.avgSpecTasksSystem) << what;
+    EXPECT_EQ(a.avgWrittenKb, b.avgWrittenKb) << what;
+    EXPECT_EQ(a.commitExecRatio, b.commitExecRatio) << what;
+    ASSERT_EQ(a.counters.entries().size(), b.counters.entries().size())
+        << what;
+    for (std::size_t i = 0; i < a.counters.entries().size(); ++i) {
+        EXPECT_EQ(a.counters.entries()[i].first,
+                  b.counters.entries()[i].first)
+            << what;
+        EXPECT_EQ(a.counters.entries()[i].second,
+                  b.counters.entries()[i].second)
+            << what;
+    }
+    ASSERT_EQ(a.perProc.size(), b.perProc.size()) << what;
+    for (std::size_t p = 0; p < a.perProc.size(); ++p)
+        for (std::size_t k = 0; k < kNumCycleKinds; ++k)
+            EXPECT_EQ(a.perProc[p].get(CycleKind(k)),
+                      b.perProc[p].get(CycleKind(k)))
+                << what << " proc " << p;
+}
+
+} // namespace
+
+TEST(PdesDeterminism, Fig9PointIdenticalAcrossPartitionCounts)
+{
+    tls::RunResult base = sim::runScheme(
+        smallTree(), mvLazy(), mem::MachineParams::numa16(), {}, 1);
+    ASSERT_GT(base.execTime, 0u);
+    ASSERT_GT(base.memStateLines, 0u);
+    for (unsigned parts : {2u, 4u}) {
+        tls::RunResult got = sim::runScheme(
+            smallTree(), mvLazy(), mem::MachineParams::numa16(), {},
+            parts);
+        expectIdentical(base, got,
+                        "partitions=" + std::to_string(parts));
+    }
+}
+
+TEST(PdesDeterminism, Mesh64SynthPointIdenticalAcrossPartitionCounts)
+{
+    apps::SynthSpec spec = mesh64Spec();
+    tls::RunResult base = sim::runSynthScheme(
+        spec, mvLazy(), mem::MachineParams::mesh(64), {}, 1);
+    ASSERT_GT(base.execTime, 0u);
+    // The point must actually squash for the matrix to mean anything.
+    EXPECT_GT(base.squashEvents, 0u);
+    for (unsigned parts : {2u, 4u}) {
+        tls::RunResult got = sim::runSynthScheme(
+            spec, mvLazy(), mem::MachineParams::mesh(64), {}, parts);
+        expectIdentical(base, got,
+                        "partitions=" + std::to_string(parts));
+    }
+}
+
+TEST(PdesDeterminism, FaultedPointIdenticalAcrossPartitionCounts)
+{
+    // Fault injection draws from RNG streams consulted in event order;
+    // the ordered merge preserves that order exactly, so even a
+    // faulted point is partition-count invariant.
+    fault::FaultSpec faults;
+    std::string err;
+    ASSERT_TRUE(fault::FaultSpec::parse(
+        "seed=7,noc-delay=0.05:12,squash=0.002", &faults, &err))
+        << err;
+    tls::RunResult base = sim::runScheme(
+        smallTree(), mvLazy(), mem::MachineParams::numa16(), faults, 1);
+    for (unsigned parts : {2u, 4u}) {
+        tls::RunResult got =
+            sim::runScheme(smallTree(), mvLazy(),
+                           mem::MachineParams::numa16(), faults, parts);
+        expectIdentical(base, got,
+                        "faulted partitions=" + std::to_string(parts));
+        EXPECT_EQ(base.faults.total(), got.faults.total());
+    }
+}
+
+TEST(PdesDeterminism, FigureTableIdenticalAcrossMatrix)
+{
+    // The full matrix: partitions {1,2,4} x sweep threads {1,2}. The
+    // rendered figure table (the repo's primary artifact) must be one
+    // byte string.
+    apps::AppParams app = smallTree();
+    std::vector<tls::SchemeConfig> schemes = {
+        {tls::Separation::SingleT, tls::Merging::EagerAMM, false},
+        mvLazy(),
+    };
+    std::string base_table;
+    for (unsigned parts : {1u, 2u, 4u}) {
+        for (unsigned threads : {1u, 2u}) {
+            std::vector<sim::AppStudy> studies = sim::runStudySweep(
+                {app}, schemes, mem::MachineParams::numa16(), 2,
+                threads, {}, parts);
+            std::string table =
+                sim::renderFigure("pdes-determinism", studies);
+            if (base_table.empty())
+                base_table = table;
+            else
+                EXPECT_EQ(table, base_table)
+                    << "partitions=" << parts
+                    << " threads=" << threads;
+        }
+    }
+    EXPECT_FALSE(base_table.empty());
+}
+
+TEST(PdesDeterminism, TraceIdenticalAcrossPartitionCounts)
+{
+    if (!trace::builtIn())
+        GTEST_SKIP() << "tracing compiled out";
+    // The drained task-lifetime trace — every record, in canonical
+    // order — is the strongest per-event observable; byte-equality
+    // here means the ordered merge reproduced the serial execution
+    // event for event.
+    std::vector<trace::Record> base;
+    for (unsigned parts : {1u, 2u, 4u}) {
+        trace::Options opts;
+        opts.mask = trace::kMaskAll;
+        trace::start(opts);
+        tls::RunResult r = sim::runScheme(
+            smallTree(), mvLazy(), mem::MachineParams::numa16(), {},
+            parts);
+        trace::stop();
+        ASSERT_GT(r.execTime, 0u);
+        ASSERT_EQ(trace::droppedRecords(), 0u);
+        std::vector<trace::Record> records = trace::drain();
+        trace::reset();
+        ASSERT_FALSE(records.empty()) << "partitions=" << parts;
+        if (base.empty()) {
+            base = std::move(records);
+        } else {
+            ASSERT_EQ(records.size(), base.size())
+                << "partitions=" << parts;
+            for (std::size_t i = 0; i < records.size(); ++i)
+                ASSERT_TRUE(records[i] == base[i])
+                    << "partitions=" << parts << " record " << i;
+        }
+    }
+}
+
+TEST(PdesDeterminism, EnvPartitionCountMatchesExplicit)
+{
+    // TLSIM_PARTITIONS must steer drivers that never pass the flag —
+    // and produce the same bytes, per the ordered-mode contract.
+    tls::RunResult explicit4 = sim::runScheme(
+        smallTree(), mvLazy(), mem::MachineParams::numa16(), {}, 4);
+    ASSERT_EQ(setenv("TLSIM_PARTITIONS", "4", 1), 0);
+    tls::RunResult env4 = sim::runScheme(
+        smallTree(), mvLazy(), mem::MachineParams::numa16(), {}, 0);
+    ASSERT_EQ(unsetenv("TLSIM_PARTITIONS"), 0);
+    expectIdentical(explicit4, env4, "env vs explicit");
+}

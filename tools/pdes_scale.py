@@ -1,0 +1,167 @@
+#!/usr/bin/env python3
+"""Partitioned-PDES scaling report (DESIGN.md §9, EXPERIMENTS.md).
+
+Drives ``bench_hotpath --pdes-csv`` to collect parallel-mode
+events/sec at 1/2/4/8 partitions over the mesh64-shaped lookahead
+plan, then renders a small ASCII scaling table and curve: throughput,
+speedup over one partition, parallel efficiency, and the epoch /
+cross-partition message counts that explain the synchronization cost.
+Can also re-analyze an existing CSV without running anything
+(``--csv-in``), which is what CI does with the uploaded artifact.
+
+Standard library only. Examples:
+
+    tools/pdes_scale.py --bench build/bench/bench_hotpath --short
+    tools/pdes_scale.py --csv-in pdes_scaling.csv
+    tools/pdes_scale.py --bench build/bench/bench_hotpath \
+        --csv-out pdes_scaling.csv
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+
+
+@dataclass
+class Row:
+    partitions: int
+    events_per_sec: float
+    epochs: int
+    messages: int
+
+
+def run_bench(bench: Path, short: bool, csv_path: Path) -> None:
+    """Run bench_hotpath, keeping only its PDES CSV side channel."""
+    with tempfile.TemporaryDirectory() as tmp:
+        cmd = [
+            str(bench),
+            "--out",
+            os.path.join(tmp, "bench.json"),
+            f"--pdes-csv={csv_path}",
+        ]
+        if short:
+            cmd.append("--short")
+        proc = subprocess.run(cmd, capture_output=True, text=True)
+        if proc.returncode != 0:
+            sys.stderr.write(proc.stdout)
+            sys.stderr.write(proc.stderr)
+            raise SystemExit(
+                f"{bench} failed with exit code {proc.returncode}"
+            )
+
+
+def read_rows(csv_path: Path) -> list[Row]:
+    rows: list[Row] = []
+    with csv_path.open(newline="", encoding="utf-8") as f:
+        for rec in csv.DictReader(f):
+            rows.append(
+                Row(
+                    partitions=int(rec["partitions"]),
+                    events_per_sec=float(rec["events_per_sec"]),
+                    epochs=int(rec["epochs"]),
+                    messages=int(rec["messages"]),
+                )
+            )
+    if not rows:
+        raise SystemExit(f"{csv_path}: no data rows")
+    rows.sort(key=lambda r: r.partitions)
+    if rows[0].partitions != 1:
+        raise SystemExit(f"{csv_path}: missing the 1-partition baseline")
+    return rows
+
+
+def human(x: float) -> str:
+    for unit, div in (("G", 1e9), ("M", 1e6), ("k", 1e3)):
+        if x >= div:
+            return f"{x / div:.2f}{unit}"
+    return f"{x:.0f}"
+
+
+def render(rows: list[Row], width: int = 40) -> str:
+    base = rows[0].events_per_sec
+    peak = max(r.events_per_sec for r in rows)
+    out = []
+    out.append(
+        "Partitioned-PDES scaling (mesh64-shaped plan, parallel mode)"
+    )
+    out.append("")
+    out.append(
+        f"{'parts':>5}  {'events/sec':>11}  {'speedup':>7}  "
+        f"{'effic':>6}  {'epochs':>7}  {'msgs':>7}"
+    )
+    out.append("-" * 52)
+    for r in rows:
+        speedup = r.events_per_sec / base
+        eff = speedup / r.partitions
+        out.append(
+            f"{r.partitions:>5}  {human(r.events_per_sec):>11}  "
+            f"{speedup:>6.2f}x  {eff:>5.1%}  {r.epochs:>7}  "
+            f"{r.messages:>7}"
+        )
+    out.append("")
+    out.append("throughput (each bar normalized to the fastest row):")
+    for r in rows:
+        bar = "#" * max(1, round(width * r.events_per_sec / peak))
+        out.append(f"  {r.partitions:>2}p |{bar}")
+    out.append("")
+    n_threads = os.cpu_count() or 1
+    if n_threads <= 1:
+        out.append(
+            "note: single hardware thread — epoch-barrier overhead "
+            "without parallel speedup is the expected shape here; the "
+            "numbers document synchronization cost, not scaling."
+        )
+    else:
+        out.append(f"note: measured with {n_threads} hardware threads.")
+    return "\n".join(out) + "\n"
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    src = ap.add_mutually_exclusive_group(required=True)
+    src.add_argument(
+        "--bench", type=Path, help="path to the bench_hotpath binary"
+    )
+    src.add_argument(
+        "--csv-in",
+        type=Path,
+        help="re-analyze an existing scaling CSV instead of running",
+    )
+    ap.add_argument(
+        "--csv-out",
+        type=Path,
+        help="also keep the scaling CSV at this path",
+    )
+    ap.add_argument(
+        "--short",
+        action="store_true",
+        help="pass --short to bench_hotpath (CI iteration counts)",
+    )
+    args = ap.parse_args()
+
+    if args.csv_in:
+        rows = read_rows(args.csv_in)
+        if args.csv_out and args.csv_out != args.csv_in:
+            shutil.copy(args.csv_in, args.csv_out)
+    else:
+        with tempfile.TemporaryDirectory() as tmp:
+            csv_path = Path(tmp) / "pdes_scaling.csv"
+            run_bench(args.bench, args.short, csv_path)
+            rows = read_rows(csv_path)
+            if args.csv_out:
+                shutil.copy(csv_path, args.csv_out)
+
+    sys.stdout.write(render(rows))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
