@@ -47,6 +47,7 @@ main(int argc, char **argv)
 {
     g_threads = bench::parseThreads(argc, argv);
     g_faults = bench::parseFaults(argc, argv);
+    bench::CacheSession cache_session(argc, argv);
     mem::MachineParams numa = mem::MachineParams::numa16();
 
     // ---- A: overflow-area cost sweep (P3m, Lazy AMM) ----

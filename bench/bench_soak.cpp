@@ -170,6 +170,7 @@ main(int argc, char **argv)
     // A --faults=SPEC override replays that exact schedule in every
     // round instead of drawing randomized ones (failure reproduction).
     const fault::FaultSpec fixed_spec = bench::parseFaults(argc, argv);
+    bench::CacheSession cache_session(argc, argv);
 
     std::vector<apps::AppParams> apps = {soakSquashy(tasks),
                                          soakHungry(tasks)};
