@@ -49,6 +49,7 @@ main(int argc, char **argv)
     g_faults = bench::parseFaults(argc, argv);
     bench::CacheSession cache_session(argc, argv);
     mem::MachineParams numa = mem::MachineParams::numa16();
+    numa.coreModel = bench::parseCoreModel(argc, argv);
 
     // ---- A: overflow-area cost sweep (P3m, Lazy AMM) ----
     std::printf("Ablation A — overflow-area check cost (P3m, "

@@ -15,6 +15,7 @@
 #include "common/fault.hpp"
 #include "common/task_pool.hpp"
 #include "common/trace.hpp"
+#include "mem/machine_params.hpp"
 #include "sim/result_cache.hpp"
 
 namespace tlsim::bench {
@@ -98,6 +99,35 @@ parsePartitions(int argc, char **argv)
 }
 
 /**
+ * Parse a `--core MODEL` / `--core=MODEL` flag for the simulation
+ * drivers: which processor timing model drives the cores
+ * (docs/OOO_CORE.md). `inorder` — the default — is byte-identical to
+ * the pre-flag drivers; `ooo` enables the bounded-window out-of-order
+ * model with relaxed-order speculative loads. Exits with an error on
+ * an unknown name.
+ */
+inline mem::CoreModelKind
+parseCoreModel(int argc, char **argv)
+{
+    const char *value = nullptr;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--core") == 0 && i + 1 < argc)
+            value = argv[++i];
+        else if (std::strncmp(arg, "--core=", 7) == 0)
+            value = arg + 7;
+    }
+    mem::CoreModelKind kind = mem::CoreModelKind::InOrder;
+    if (value != nullptr && !mem::parseCoreModelName(value, &kind)) {
+        std::fprintf(stderr,
+                     "--core wants 'inorder' or 'ooo', got '%s'\n",
+                     value);
+        std::exit(1);
+    }
+    return kind;
+}
+
+/**
  * Parse a `--faults SPEC` / `--faults=SPEC` flag for the simulation
  * drivers (grammar: see fault::FaultSpec). Returns an inert spec when
  * the flag is absent; exits with the parse error when it is malformed.
@@ -138,7 +168,7 @@ parseFaults(int argc, char **argv)
  *   TLSIM_TRACE=FILE              same, via the environment
  *   --trace-json=FILE             also write Perfetto trace_event JSON
  *   --trace-mask=SPEC             categories to record (task, version,
- *                                 undo, noc, audit, all)
+ *                                 undo, noc, core, audit, all)
  *
  * Recording starts in the constructor when any sink was requested and
  * the sinks are written in the destructor, after the driver's sweeps

@@ -30,6 +30,7 @@ main(int argc, char **argv)
                                       std::size_t(1) << 24);
     bench::CacheSession cache_session(argc, argv);
     mem::MachineParams machine = mem::MachineParams::numa16();
+    machine.coreModel = bench::parseCoreModel(argc, argv);
     std::vector<tls::SchemeConfig> schemes = {
         {tls::Separation::MultiTMV, tls::Merging::EagerAMM, false},
         {tls::Separation::MultiTMV, tls::Merging::LazyAMM, false},

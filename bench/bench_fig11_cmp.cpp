@@ -28,6 +28,7 @@ main(int argc, char **argv)
                                       std::size_t(1) << 24);
     bench::CacheSession cache_session(argc, argv);
     mem::MachineParams machine = mem::MachineParams::cmp8();
+    machine.coreModel = bench::parseCoreModel(argc, argv);
     std::vector<tls::SchemeConfig> schemes = {
         {tls::Separation::SingleT, tls::Merging::EagerAMM, false},
         {tls::Separation::SingleT, tls::Merging::LazyAMM, false},

@@ -25,6 +25,7 @@ main(int argc, char **argv)
     tls::SchemeConfig scheme{tls::Separation::MultiTMV,
                              tls::Merging::EagerAMM, false};
     mem::MachineParams numa = mem::MachineParams::numa16();
+    numa.coreModel = bench::parseCoreModel(argc, argv);
 
     TextTable table({"Appl", "#Spec tasks in system",
                      "#Spec tasks per proc", "Written/task KB (paper)",

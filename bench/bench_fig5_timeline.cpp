@@ -53,6 +53,7 @@ main(int argc, char **argv)
     // Scripted four-task runs: small enough to trace every category,
     // NoC included (--trace=FILE / --trace-json=FILE).
     fault::FaultSpec faults = bench::parseFaults(argc, argv);
+    mem::CoreModelKind core = bench::parseCoreModel(argc, argv);
     bench::TraceSession trace_session(argc, argv, trace::kMaskAll,
                                       std::size_t(1) << 20);
     std::printf("Figure 5 — four tasks under SingleT (a), MultiT&SV "
@@ -69,7 +70,7 @@ main(int argc, char **argv)
     Cycle longest = 0;
     std::vector<tls::RunResult> results;
     for (tls::Separation sep : seps) {
-        results.push_back(bench::runFigure5(sep, faults));
+        results.push_back(bench::runFigure5(sep, faults, core));
         longest = std::max(longest, results.back().execTime);
     }
     Cycle scale = std::max<Cycle>(1, longest / 76);

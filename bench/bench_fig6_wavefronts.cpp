@@ -55,6 +55,7 @@ main(int argc, char **argv)
 {
     // Scripted wavefront runs: small enough to trace every category.
     fault::FaultSpec faults = bench::parseFaults(argc, argv);
+    mem::CoreModelKind core = bench::parseCoreModel(argc, argv);
     bench::TraceSession trace_session(argc, argv, trace::kMaskAll,
                                       std::size_t(1) << 20);
     struct Config {
@@ -79,7 +80,7 @@ main(int argc, char **argv)
     Cycle longest = 0;
     for (int i = 0; i < 4; ++i) {
         results[i] = bench::runFigure6(configs[i].sep, configs[i].merge,
-                                       3, 6, faults);
+                                       3, 6, faults, core);
         longest = std::max(longest, results[i].execTime);
     }
     Cycle scale = std::max<Cycle>(1, longest / 72);

@@ -7,6 +7,7 @@
  */
 
 #include <cstdio>
+#include <cstring>
 
 #include "bench_common.hpp"
 #include "sim/study.hpp"
@@ -19,12 +20,26 @@ main(int argc, char **argv)
     unsigned threads = bench::parseThreads(argc, argv);
     unsigned partitions = bench::parsePartitions(argc, argv);
     fault::FaultSpec faults = bench::parseFaults(argc, argv);
+    // --app=NAME narrows the sweep to one application and --reps=N
+    // overrides the replication count: a single-app single-rep run
+    // keeps a core-mask trace (docs/TRACING.md) inside one ring.
+    const char *only_app = nullptr;
+    unsigned reps = 3;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--app=", 6) == 0)
+            only_app = argv[i] + 6;
+        else if (std::strncmp(argv[i], "--reps=", 7) == 0)
+            reps = unsigned(std::atoi(argv[i] + 7));
+    }
+    if (reps == 0)
+        reps = 1;
     // Full sweeps emit millions of records; default to the audit
     // categories (no NoC firehose) and size the rings accordingly.
     bench::TraceSession trace_session(argc, argv, trace::kMaskAudit,
                                       std::size_t(1) << 24);
     bench::CacheSession cache_session(argc, argv);
     mem::MachineParams machine = mem::MachineParams::numa16();
+    machine.coreModel = bench::parseCoreModel(argc, argv);
     std::vector<tls::SchemeConfig> schemes = {
         {tls::Separation::SingleT, tls::Merging::EagerAMM, false},
         {tls::Separation::SingleT, tls::Merging::LazyAMM, false},
@@ -34,8 +49,21 @@ main(int argc, char **argv)
         {tls::Separation::MultiTMV, tls::Merging::LazyAMM, false},
     };
 
+    std::vector<apps::AppParams> suite = apps::appSuite();
+    if (only_app != nullptr) {
+        std::vector<apps::AppParams> picked;
+        for (const apps::AppParams &app : suite)
+            if (app.name == only_app)
+                picked.push_back(app);
+        if (picked.empty()) {
+            std::fprintf(stderr, "unknown app '%s'\n", only_app);
+            return 1;
+        }
+        suite = picked;
+    }
+
     std::vector<sim::AppStudy> studies =
-        sim::runStudySweep(apps::appSuite(), schemes, machine, 3, threads,
+        sim::runStudySweep(suite, schemes, machine, reps, threads,
                            faults, partitions);
 
     std::fputs(sim::renderFigure(

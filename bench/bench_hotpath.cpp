@@ -1045,15 +1045,18 @@ benchCacheMetrics(bool short_mode, long long *key_allocs_out)
  * pdes-determinism step diffs this output across --partitions values.
  */
 int
-pdesPointReport(unsigned partitions)
+pdesPointReport(unsigned partitions, mem::CoreModelKind core)
 {
     apps::AppParams app = apps::tree();
     app.numTasks = 96;
     app.instrPerTask = 6000;
     tls::SchemeConfig scheme{tls::Separation::MultiTMV,
                              tls::Merging::LazyAMM, false};
-    tls::RunResult fig9 = sim::runScheme(
-        app, scheme, mem::MachineParams::numa16(), {}, partitions);
+    mem::MachineParams numa = mem::MachineParams::numa16();
+    mem::MachineParams mesh64 = mem::MachineParams::mesh(64);
+    numa.coreModel = mesh64.coreModel = core;
+    tls::RunResult fig9 =
+        sim::runScheme(app, scheme, numa, {}, partitions);
     std::printf("fig9point exec=%llu memhash=%016llx lines=%llu "
                 "loads=%llu stores=%llu squashes=%llu\n",
                 (unsigned long long)fig9.execTime,
@@ -1067,8 +1070,8 @@ pdesPointReport(unsigned partitions)
     if (!apps::SynthSpec::parse("kind=graph,tasks=96,conflict=0.2",
                                 &spec))
         std::abort();
-    tls::RunResult synth = sim::runSynthScheme(
-        spec, scheme, mem::MachineParams::mesh(64), {}, partitions);
+    tls::RunResult synth =
+        sim::runSynthScheme(spec, scheme, mesh64, {}, partitions);
     std::printf("mesh64point exec=%llu memhash=%016llx lines=%llu "
                 "loads=%llu stores=%llu squashes=%llu\n",
                 (unsigned long long)synth.execTime,
@@ -1109,6 +1112,7 @@ benchMain(int argc, char **argv)
     const char *out = "BENCH_hotpath.json";
     const char *pdes_csv = nullptr;
     unsigned partitions_flag = 0;
+    mem::CoreModelKind core = mem::CoreModelKind::InOrder;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--short") == 0) {
             short_mode = true;
@@ -1126,19 +1130,32 @@ benchMain(int argc, char **argv)
         } else if (std::strcmp(argv[i], "--partitions") == 0 &&
                    i + 1 < argc) {
             partitions_flag = unsigned(std::atol(argv[++i]));
+        } else if (std::strncmp(argv[i], "--core=", 7) == 0 ||
+                   (std::strcmp(argv[i], "--core") == 0 &&
+                    i + 1 < argc)) {
+            const char *v = argv[i][6] == '=' ? argv[i] + 7 : argv[++i];
+            if (!mem::parseCoreModelName(v, &core)) {
+                std::fprintf(stderr,
+                             "--core wants 'inorder' or 'ooo', got "
+                             "'%s'\n",
+                             v);
+                return 2;
+            }
         } else {
             std::fprintf(stderr,
                          "usage: bench_hotpath [--short] [--out FILE] "
-                         "[--pdes-csv FILE] "
+                         "[--pdes-csv FILE] [--core inorder|ooo] "
                          "[--pdes-point [--partitions N]]\n");
             return 2;
         }
     }
 
     // --pdes-point: determinism-oracle mode for the CI pdes-determinism
-    // step; prints two points and exits without benchmarking.
+    // step; prints two points and exits without benchmarking. --core=ooo
+    // makes the same oracles cover the out-of-order core model.
     if (pdes_point)
-        return pdesPointReport(resolvePartitionCount(partitions_flag));
+        return pdesPointReport(resolvePartitionCount(partitions_flag),
+                               core);
 
     const long event_quota = short_mode ? 300'000 : 4'000'000;
     const long counter_iters = short_mode ? 2'000'000 : 50'000'000;

@@ -17,7 +17,9 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
+#include "bench_common.hpp"
 #include "common/trace.hpp"
 #include "sim/study.hpp"
 
@@ -102,23 +104,39 @@ main(int argc, char **argv)
     if (argc > 1 && std::strcmp(argv[1], "--audit") == 0)
         return auditTraces(argc, argv);
 
-    auto schemes = tls::SchemeConfig::evaluatedSchemes();
+    mem::CoreModelKind core = bench::parseCoreModel(argc, argv);
+    // Positional arguments, with flag arguments filtered out.
+    std::vector<std::string> pos;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--core") == 0) {
+            ++i; // its value
+            continue;
+        }
+        if (std::strncmp(arg, "--", 2) == 0)
+            continue;
+        pos.push_back(arg);
+    }
 
-    if (argc == 1) {
+    auto schemes = tls::SchemeConfig::evaluatedSchemes();
+    mem::MachineParams numa = mem::MachineParams::numa16();
+    mem::MachineParams cmp_m = mem::MachineParams::cmp8();
+    numa.coreModel = cmp_m.coreModel = core;
+
+    if (pos.empty()) {
         for (const apps::AppParams &app : apps::appSuite())
-            dumpRun(app, schemes[4], mem::MachineParams::numa16());
+            dumpRun(app, schemes[4], numa);
         return 0;
     }
 
-    std::string app_name = argv[1];
-    int scheme_idx = argc > 2 ? std::atoi(argv[2]) : 4;
-    bool cmp = argc > 3 && std::strcmp(argv[3], "cmp") == 0;
+    std::string app_name = pos[0];
+    int scheme_idx = pos.size() > 1 ? std::atoi(pos[1].c_str()) : 4;
+    bool cmp = pos.size() > 2 && pos[2] == "cmp";
 
     for (const apps::AppParams &app : apps::appSuite()) {
         if (app.name == app_name) {
             dumpRun(app, schemes[std::size_t(scheme_idx) % schemes.size()],
-                    cmp ? mem::MachineParams::cmp8()
-                        : mem::MachineParams::numa16());
+                    cmp ? cmp_m : numa);
             return 0;
         }
     }

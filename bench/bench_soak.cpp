@@ -186,10 +186,12 @@ main(int argc, char **argv)
     // points get distinct streams (app, machine, sweep ordinal), so a
     // single end-of-run audit covers every round, faulted and clean.
     const bool tracing = trace::builtIn();
+    const std::size_t ring_capacity =
+        std::size_t(1) << (short_mode ? 21 : 23);
     if (tracing) {
         trace::Options opts;
         opts.mask = trace::kMaskAudit;
-        opts.ringCapacity = std::size_t(1) << (short_mode ? 21 : 23);
+        opts.ringCapacity = ring_capacity;
         trace::start(opts);
     } else {
         std::fprintf(stderr, "soak: built with TLSIM_TRACE=OFF — "
@@ -376,6 +378,117 @@ main(int argc, char **argv)
         }
     }
 
+    // The core-pipeline records roughly triple the OoO phase's
+    // memory-op record volume, so it gets its own trace session: a
+    // shared ring sized for the audit mask would wrap, and the audit
+    // flags wrap-around truncation as an issue. The in-order phases'
+    // trace is drained here and audited at the end alongside the OoO
+    // one.
+    trace::TraceFile inorder_file;
+    if (tracing) {
+        trace::stop();
+        inorder_file = trace::drainFile();
+        trace::reset();
+        trace::Options opts;
+        opts.mask = trace::kMaskAudit | trace::kMaskCore;
+        // ~2 core records per memory op on top of the audit kinds:
+        // the phase needs roughly twice the ring of an audit-only
+        // round set.
+        opts.ringCapacity = std::size_t(1) << (short_mode ? 22 : 23);
+        trace::start(opts);
+    }
+
+    // Out-of-order core phase: the squashy/hungry apps again, now
+    // under the bounded-window OoO model (docs/OOO_CORE.md), faulted
+    // vs clean, against the same three oracles. Additionally the
+    // clean OoO memory image must equal the clean in-order image —
+    // the core timing model may reorder events in time but must
+    // never change what commits.
+    {
+        mem::MachineParams machine = mem::MachineParams::numa16();
+        machine.coreModel = mem::CoreModelKind::OutOfOrder;
+        mem::MachineParams inorder_machine = mem::MachineParams::numa16();
+        const fault::FaultSpec spec = fixed_spec.anyEnabled()
+                                          ? fixed_spec
+                                          : drawSchedule(master);
+        std::vector<apps::AppParams> ooo_apps = apps;
+        std::uint64_t mix = seed + 0xc2b2ae3d27d4eb4fULL;
+        for (std::size_t a = 0; a < ooo_apps.size(); ++a) {
+            std::uint64_t s = mix + a;
+            ooo_apps[a].seed = splitmix64(s);
+        }
+
+        std::vector<sim::AppStudy> faulted = sim::runStudySweep(
+            ooo_apps, schemes, machine, 1, threads, spec);
+        std::vector<sim::AppStudy> clean = sim::runStudySweep(
+            ooo_apps, schemes, machine, 1, threads, {});
+        std::vector<sim::AppStudy> inorder = sim::runStudySweep(
+            ooo_apps, schemes, inorder_machine, 1, threads, {});
+
+        unsigned phase_points = 0;
+        fault::FaultCounters phase_injected;
+        bool phase_state_ok = true;
+        for (std::size_t a = 0; a < ooo_apps.size(); ++a) {
+            for (std::size_t s = 0; s < schemes.size(); ++s) {
+                const tls::RunResult &f = faulted[a].outcomes[s].result;
+                const tls::RunResult &c = clean[a].outcomes[s].result;
+                const tls::RunResult &io = inorder[a].outcomes[s].result;
+                ++tally.points;
+                ++phase_points;
+                if (f.committedTasks != ooo_apps[a].numTasks ||
+                    c.committedTasks != ooo_apps[a].numTasks) {
+                    ++tally.completionFailures;
+                    std::fprintf(stderr,
+                                 "soak: ooo %s/%s committed %llu/%u "
+                                 "tasks\n",
+                                 ooo_apps[a].name.c_str(),
+                                 schemes[s].name().c_str(),
+                                 (unsigned long long)f.committedTasks,
+                                 ooo_apps[a].numTasks);
+                }
+                if (f.memStateHash != c.memStateHash ||
+                    f.memStateLines != c.memStateLines) {
+                    ++tally.stateMismatches;
+                    phase_state_ok = false;
+                    std::fprintf(
+                        stderr,
+                        "soak: ooo %s/%s faulted-vs-clean memory-state "
+                        "divergence\n  schedule: %s\n",
+                        ooo_apps[a].name.c_str(),
+                        schemes[s].name().c_str(),
+                        spec.canonical().c_str());
+                }
+                if (c.memStateHash != io.memStateHash ||
+                    c.memStateLines != io.memStateLines) {
+                    ++tally.stateMismatches;
+                    phase_state_ok = false;
+                    std::fprintf(
+                        stderr,
+                        "soak: ooo %s/%s ooo-vs-inorder memory-state "
+                        "divergence (%016llx/%llu vs %016llx/%llu)\n",
+                        ooo_apps[a].name.c_str(),
+                        schemes[s].name().c_str(),
+                        (unsigned long long)c.memStateHash,
+                        (unsigned long long)c.memStateLines,
+                        (unsigned long long)io.memStateHash,
+                        (unsigned long long)io.memStateLines);
+                }
+                tally.fold(f.faults);
+                phase_injected.spuriousSquashes +=
+                    f.faults.spuriousSquashes;
+                phase_injected.commitSquashes +=
+                    f.faults.commitSquashes;
+            }
+        }
+        char injected[96];
+        std::snprintf(injected, sizeof(injected), "sq %llu+%llu",
+                      (unsigned long long)phase_injected.spuriousSquashes,
+                      (unsigned long long)phase_injected.commitSquashes);
+        table.addRow({"ooo", "NUMA-16", spec.canonical(),
+                      std::to_string(phase_points), injected,
+                      phase_state_ok ? "match" : "DIVERGED"});
+    }
+
     std::fputs(table.render().c_str(), stdout);
 
     // The soak must actually have exercised every fault site: a soak
@@ -391,24 +504,32 @@ main(int argc, char **argv)
     std::size_t audit_issues = 0;
     if (tracing) {
         trace::stop();
-        trace::TraceFile file = trace::drainFile();
+        trace::TraceFile ooo_file = trace::drainFile();
         trace::reset();
-        trace::AuditReport report = trace::audit(file);
-        audit_issues = report.issues.size();
-        std::printf("\nTrace audit: %zu records, %zu streams, %zu "
-                    "checks, %zu issues\n",
-                    report.records, report.streams, report.checks,
-                    audit_issues);
-        if (!report.ok())
-            std::fputs(report.summary().c_str(), stderr);
-        if (!trace_path.empty()) {
-            std::string err;
-            if (trace::writeBinary(trace_path, file, &err))
-                std::fprintf(stderr, "soak: trace -> %s\n",
-                             trace_path.c_str());
-            else
-                std::fprintf(stderr, "soak: %s\n", err.c_str());
-        }
+        auto audit_one = [&](const char *label,
+                             const trace::TraceFile &file,
+                             const std::string &path) {
+            trace::AuditReport report = trace::audit(file);
+            audit_issues += report.issues.size();
+            std::printf("\nTrace audit (%s): %zu records, %zu "
+                        "streams, %zu checks, %zu issues\n",
+                        label, report.records, report.streams,
+                        report.checks, report.issues.size());
+            if (!report.ok())
+                std::fputs(report.summary().c_str(), stderr);
+            if (!path.empty()) {
+                std::string err;
+                if (trace::writeBinary(path, file, &err))
+                    std::fprintf(stderr, "soak: trace -> %s\n",
+                                 path.c_str());
+                else
+                    std::fprintf(stderr, "soak: %s\n", err.c_str());
+            }
+        };
+        audit_one("in-order phases", inorder_file, trace_path);
+        audit_one("ooo phase", ooo_file,
+                  trace_path.empty() ? std::string()
+                                     : trace_path + ".ooo");
     }
 
     std::printf("\nSoak summary: %u points, %u completion failures, "

@@ -42,6 +42,7 @@ struct Options {
     std::vector<std::string> machines = {"numa16", "mesh64", "cmp32"};
     std::string csvPath;
     fault::FaultSpec faults;
+    mem::CoreModelKind core = mem::CoreModelKind::InOrder;
 };
 
 Options
@@ -51,6 +52,7 @@ parseOptions(int argc, char **argv)
     opt.threads = bench::parseThreads(argc, argv);
     opt.partitions = bench::parsePartitions(argc, argv);
     opt.faults = bench::parseFaults(argc, argv);
+    opt.core = bench::parseCoreModel(argc, argv);
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
         const char *list = nullptr;
@@ -173,6 +175,7 @@ main(int argc, char **argv)
                          mname.c_str());
             return 1;
         }
+        machine.coreModel = opt.core;
 
         std::vector<sim::SynthStudy> studies = sim::runSynthSweep(
             specs, schemes, machine, opt.threads, opt.faults,

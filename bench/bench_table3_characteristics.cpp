@@ -24,6 +24,7 @@ main(int argc, char **argv)
                                tls::Merging::EagerAMM, false};
     mem::MachineParams numa = mem::MachineParams::numa16();
     mem::MachineParams cmp = mem::MachineParams::cmp8();
+    numa.coreModel = cmp.coreModel = bench::parseCoreModel(argc, argv);
 
     TextTable table({"Appl", "#Tasks", "KInstr/task (paper)",
                      "C/E% NUMA (paper)", "C/E% CMP (paper)",

@@ -21,7 +21,8 @@ inline constexpr Addr kVarX = 0x1000'0000;
  * T2 both create their own version of X.
  */
 inline tls::RunResult
-runFigure5(tls::Separation sep, const fault::FaultSpec &faults = {})
+runFigure5(tls::Separation sep, const fault::FaultSpec &faults = {},
+           mem::CoreModelKind core = mem::CoreModelKind::InOrder)
 {
     using cpu::Op;
     std::vector<std::vector<Op>> tasks;
@@ -41,6 +42,7 @@ runFigure5(tls::Separation sep, const fault::FaultSpec &faults = {})
     cfg.scheme = tls::SchemeConfig::make(sep, tls::Merging::EagerAMM);
     cfg.machine = mem::MachineParams::numa16();
     cfg.machine.numProcs = 2;
+    cfg.machine.coreModel = core;
     cfg.faults = faults;
     tls::SpeculationEngine engine(cfg, wl);
     return engine.run();
@@ -52,7 +54,8 @@ runFigure5(tls::Separation sep, const fault::FaultSpec &faults = {})
  */
 inline tls::RunResult
 runFigure6(tls::Separation sep, tls::Merging merge, unsigned procs = 3,
-           unsigned n_tasks = 6, const fault::FaultSpec &faults = {})
+           unsigned n_tasks = 6, const fault::FaultSpec &faults = {},
+           mem::CoreModelKind core = mem::CoreModelKind::InOrder)
 {
     using cpu::Op;
     std::vector<std::vector<Op>> tasks;
@@ -70,6 +73,7 @@ runFigure6(tls::Separation sep, tls::Merging merge, unsigned procs = 3,
     cfg.scheme = tls::SchemeConfig::make(sep, merge);
     cfg.machine = mem::MachineParams::numa16();
     cfg.machine.numProcs = procs;
+    cfg.machine.coreModel = core;
     cfg.faults = faults;
     tls::SpeculationEngine engine(cfg, wl);
     return engine.run();

@@ -30,6 +30,7 @@ constexpr const char *kKindNames[kNumKinds] = {
     "version_create", "version_remove",  "version_merge",
     "version_overflow", "undo_append",   "undo_drop",
     "undo_recover",  "noc_send",         "noc_deliver",
+    "core_issue",    "core_retire",      "lsq_replay",
 };
 
 } // namespace
@@ -64,6 +65,8 @@ parseMask(std::string_view spec, std::uint32_t fallback)
             bit = kMaskUndo;
         else if (tok == "noc")
             bit = kMaskNoc;
+        else if (tok == "core")
+            bit = kMaskCore;
         else if (tok == "audit")
             bit = kMaskAudit;
         else if (tok == "all")
@@ -620,13 +623,24 @@ struct StreamState {
     std::set<std::pair<std::uint32_t, std::uint32_t>> squashed;
     /** task -> undo-log entries appended and not yet dropped/drained. */
     std::unordered_map<std::uint32_t, std::uint64_t> undoPending;
+    /** One OoO core's pipeline replay state (keyed by proc). */
+    struct CoreExec {
+        std::uint32_t epoch = 0;
+        bool anyIssue = false;
+        bool anyRetire = false;
+        std::uint32_t lastIssueSeq = 0;
+        std::uint32_t lastRetireSeq = 0;
+        /** issued, unretired memory ops: seq -> is-store flag. */
+        std::unordered_map<std::uint32_t, bool> inFlight;
+    };
+    std::unordered_map<unsigned, CoreExec> coreExec;
 };
 
 constexpr std::size_t kMaxIssues = 64;
 
 struct Auditor {
     AuditReport &report;
-    bool haveTask, haveVersion, haveUndo;
+    bool haveTask, haveVersion, haveUndo, haveCore;
 
     void
     issue(const StreamState &s, const Record &r, std::string what)
@@ -775,6 +789,68 @@ struct Auditor {
         case Kind::NocDeliver:
             ++report.checks;
             break;
+        case Kind::CoreIssue: {
+            auto &e = s.coreExec[unsigned(r.proc)];
+            std::uint32_t epoch = coreArgEpoch(r.arg);
+            std::uint32_t seq = coreArgSeq(r.arg);
+            if (!e.anyIssue || epoch != e.epoch) {
+                // New execution (dispatch or restart): the window
+                // starts empty and sequence numbers restart at 0.
+                check(seq == 0, s, r,
+                      "first issue of an execution must be seq 0, "
+                      "got " + std::to_string(seq));
+                e.epoch = epoch;
+                e.anyIssue = true;
+                e.anyRetire = false;
+                e.inFlight.clear();
+            } else {
+                check(seq == e.lastIssueSeq + 1, s, r,
+                      "memory ops must issue in program order "
+                      "(expected seq " +
+                          std::to_string(e.lastIssueSeq + 1) + ")");
+            }
+            e.lastIssueSeq = seq;
+            check(e.inFlight.emplace(seq, coreArgIsStore(r.arg)).second,
+                  s, r, "duplicate issue of seq " + std::to_string(seq));
+            break;
+        }
+        case Kind::CoreRetire: {
+            auto &e = s.coreExec[unsigned(r.proc)];
+            std::uint32_t epoch = coreArgEpoch(r.arg);
+            std::uint32_t seq = coreArgSeq(r.arg);
+            check(e.anyIssue && epoch == e.epoch, s, r,
+                  "retire from an execution with no issues");
+            auto it = e.inFlight.find(seq);
+            check(it != e.inFlight.end(), s, r,
+                  "retire of seq " + std::to_string(seq) +
+                      " that never issued (or retired twice)");
+            if (it != e.inFlight.end()) {
+                check(it->second == coreArgIsStore(r.arg), s, r,
+                      "retired op's load/store flag does not match "
+                      "its issue");
+                e.inFlight.erase(it);
+            }
+            check(seq == (e.anyRetire ? e.lastRetireSeq + 1 : 0), s, r,
+                  "out-of-order retirement (expected seq " +
+                      std::to_string(e.anyRetire ? e.lastRetireSeq + 1
+                                                 : 0) +
+                      ")");
+            e.lastRetireSeq = seq;
+            e.anyRetire = true;
+            break;
+        }
+        case Kind::LsqReplay: {
+            auto &e = s.coreExec[unsigned(r.proc)];
+            std::uint32_t epoch = coreArgEpoch(r.arg);
+            std::uint32_t seq = coreArgSeq(r.arg);
+            check(e.anyIssue && epoch == e.epoch, s, r,
+                  "replay in an execution with no issues");
+            auto it = e.inFlight.find(seq);
+            check(it != e.inFlight.end() && !it->second, s, r,
+                  "replay of seq " + std::to_string(seq) +
+                      " that is not an in-flight load");
+            break;
+        }
         }
     }
 
@@ -828,7 +904,8 @@ audit(const TraceFile &file)
     bool haveTask = (file.mask & kMaskTask) == kMaskTask;
     bool haveVersion = (file.mask & kMaskVersion) == kMaskVersion;
     bool haveUndo = (file.mask & kMaskUndo) == kMaskUndo;
-    Auditor auditor{report, haveTask, haveVersion, haveUndo};
+    bool haveCore = (file.mask & kMaskCore) == kMaskCore;
+    Auditor auditor{report, haveTask, haveVersion, haveUndo, haveCore};
 
     std::map<std::uint64_t, StreamState> streams;
     for (const Record &r : file.records) {
@@ -872,6 +949,11 @@ audit(const TraceFile &file)
         case Kind::NocSend:
         case Kind::NocDeliver:
             gated = true;
+            break;
+        case Kind::CoreIssue:
+        case Kind::CoreRetire:
+        case Kind::LsqReplay:
+            gated = haveCore;
             break;
         }
         if (gated)

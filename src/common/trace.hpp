@@ -66,9 +66,13 @@ enum class Kind : std::uint8_t {
     // interconnect
     NocSend = 13,    ///< message injected at its source node
     NocDeliver = 14, ///< message finished traversing the network
+    // core pipeline (emitted only by the OoO core model)
+    CoreIssue = 15,  ///< memory op entered the instruction window
+    CoreRetire = 16, ///< memory op retired in program order
+    LsqReplay = 17,  ///< in-flight load replayed after a remote store
 };
 
-inline constexpr std::size_t kNumKinds = 15;
+inline constexpr std::size_t kNumKinds = 18;
 
 /** Stable lower-case name of a record kind (doc/table identity). */
 const char *kindName(Kind k);
@@ -94,10 +98,47 @@ inline constexpr std::uint32_t kMaskUndo =
     kindBit(Kind::UndoRecover);
 inline constexpr std::uint32_t kMaskNoc =
     kindBit(Kind::NocSend) | kindBit(Kind::NocDeliver);
+/** OoO core pipeline records (docs/OOO_CORE.md). Opt-in: excluded
+ * from kMaskAudit/kMaskAll so default traces (and their binary-header
+ * mask bytes) are unchanged for runs that never emit them. */
+inline constexpr std::uint32_t kMaskCore =
+    kindBit(Kind::CoreIssue) | kindBit(Kind::CoreRetire) |
+    kindBit(Kind::LsqReplay);
 /** Everything the audit invariants consume (all but the NoC firehose). */
 inline constexpr std::uint32_t kMaskAudit =
     kMaskTask | kMaskVersion | kMaskUndo;
 inline constexpr std::uint32_t kMaskAll = kMaskAudit | kMaskNoc;
+///@}
+
+/** @name Core-record arg packing (CoreIssue/CoreRetire/LsqReplay)
+ *
+ * arg = [31] store flag | [30:20] execution epoch | [19:0] memory-op
+ * sequence number within the execution. The epoch increments on every
+ * dispatch (including restarts) so the audit can segment a core's
+ * record stream into executions without task correlation.
+ */
+///@{
+constexpr std::uint32_t
+packCoreArg(bool is_store, std::uint32_t epoch, std::uint32_t seq)
+{
+    return (is_store ? 0x80000000u : 0u) | ((epoch & 0x7FFu) << 20) |
+           (seq & 0xFFFFFu);
+}
+constexpr bool
+coreArgIsStore(std::uint32_t arg)
+{
+    return (arg & 0x80000000u) != 0;
+}
+constexpr std::uint32_t
+coreArgEpoch(std::uint32_t arg)
+{
+    return (arg >> 20) & 0x7FFu;
+}
+constexpr std::uint32_t
+coreArgSeq(std::uint32_t arg)
+{
+    return arg & 0xFFFFFu;
+}
 ///@}
 
 /**

@@ -6,151 +6,36 @@
  * DESIGN.md §5): non-memory work advances at a sustained IPC, loads
  * expose latency beyond a fixed hide window, stores drain through a
  * small store buffer. The speculative buffering behavior under study
- * lives entirely behind the SpecMemoryIf.
+ * lives entirely behind the SpecMemoryIf. A bounded-window OoO
+ * alternative lives in cpu/ooo_core.hpp; both implement CoreModel.
  */
 
 #ifndef TLSIM_CPU_CORE_HPP
 #define TLSIM_CPU_CORE_HPP
 
-#include <cstdint>
-#include <functional>
-#include <memory>
-
-#include "common/event_queue.hpp"
-#include "common/stats.hpp"
-#include "common/types.hpp"
-#include "cpu/mem_if.hpp"
-#include "cpu/op.hpp"
+#include "cpu/core_model.hpp"
 #include "cpu/store_buffer.hpp"
 
 namespace tlsim::cpu {
 
-/** Core timing parameters (derived from mem::MachineParams). */
-struct CoreParams {
-    double ipc = 2.0;
-    Cycle loadHide = 12;
-    unsigned storeBufEntries = 16;
-};
-
 /**
- * Events a core reports to its owner (the speculation engine).
+ * The in-order model: every op blocks issue until its cost is paid
+ * (loads beyond the hide window, stores beyond the buffer).
  */
-class CoreListener
+class Core : public CoreModel
 {
   public:
-    virtual ~CoreListener() = default;
-
-    /**
-     * The current task finished executing (store buffer drained).
-     * The core is Idle when this fires; the listener decides what the
-     * processor does next (new task, token wait, ...).
-     */
-    virtual void onTaskFinished(ProcId proc, TaskId task) = 0;
-};
-
-/**
- * One processor. Event-driven: each op schedules the next step. Cycle
- * accounting invariant (tested): between beginSection and endSection,
- * the breakdown bins sum exactly to elapsed time.
- */
-class Core
-{
-  public:
-    enum class State : std::uint8_t {
-        Idle,         ///< no task; owner decides accounting kind
-        Running,      ///< advancing through ops
-        StallStore,   ///< suspended by SecondVersion/Overflow stall
-        WorkBlock     ///< executing an owner-injected block (commit,
-                      ///< recovery handler)
-    };
-
     Core(ProcId id, EventQueue &eq, const CoreParams &params,
          SpecMemoryIf &mem, CoreListener &listener);
 
-    ProcId id() const { return id_; }
-    State state() const { return state_; }
-    bool idle() const { return state_ == State::Idle; }
-    TaskId currentTask() const { return task_; }
-
-    /** Begin accounting (start of the speculative section). */
-    void beginSection();
-    /** Close accounting: bill Idle tail as the current wait kind. */
-    void endSection();
-
-    /**
-     * Dispatch a task. @pre idle().
-     * @param dispatch_cycles scheduling overhead billed before op 0.
-     */
-    void startTask(TaskId task, std::unique_ptr<TaskTrace> trace,
-                   Cycle dispatch_cycles);
-
-    /**
-     * Run an owner-defined busy block (SingleT eager commit work, FMM
-     * recovery handler). @pre idle(). Fires @p done at completion.
-     */
-    void startWorkBlock(Cycle duration, CycleKind kind,
-                        std::function<void()> done);
-
-    /** Squash the current task. Core becomes Idle immediately. */
-    void abortTask();
-
-    /**
-     * A store stall (SecondVersion/Overflow) was resolved; re-issue
-     * the stalled store. @pre state() == StallStore.
-     */
-    void resumeStall();
-
-    /**
-     * Tell the core how to bill Idle time from now on (TokenStall
-     * while holding an uncommitted finished task, EndStall when out
-     * of tasks, ...).
-     */
-    void setIdleKind(CycleKind kind);
-
-    CycleBreakdown &breakdown() { return breakdown_; }
-    const CycleBreakdown &breakdown() const { return breakdown_; }
-
-    /** Instructions executed (committed work only if ignoring squashes). */
-    std::uint64_t instrsExecuted() const { return instrs_; }
-
-    /** Cycles the core converts @p instrs instructions into. */
-    Cycle
-    computeCycles(std::uint64_t instrs) const
-    {
-        return Cycle((double(instrs) + params_.ipc - 1) / params_.ipc);
-    }
+    void resumeStall() override;
 
   private:
-    ProcId id_;
-    EventQueue &eq_;
-    CoreParams params_;
-    SpecMemoryIf &mem_;
-    CoreListener &listener_;
-
-    State state_ = State::Idle;
-    TaskId task_ = kNoTask;
-    std::unique_ptr<TaskTrace> trace_;
     StoreBuffer storeBuf_;
-
-    CycleBreakdown breakdown_;
-    CycleKind idleKind_ = CycleKind::EndStall;
-    Cycle idleSince_ = 0;
-    bool inSection_ = false;
-
-    // Pending wait bookkeeping (for mid-wait aborts).
-    EventId pendingEvent_ = 0;
-    Cycle waitStart_ = 0;
-    CycleKind waitKind_ = CycleKind::Busy;
-
     Addr stalledStoreAddr_ = 0;
-    std::function<void()> workDone_;
-    std::uint64_t instrs_ = 0;
 
-    void step();
-    void wait(Cycle cycles, CycleKind kind,
-              std::function<void()> then);
-    void billIdle();
-    void enterIdle();
+    void step() override;
+    void resetTaskState() override { storeBuf_.clear(); }
     bool issueStore(Addr addr);
     void finishTask();
 };

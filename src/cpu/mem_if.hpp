@@ -42,10 +42,17 @@ struct StoreReply {
 /**
  * Memory interface a core uses for the current task's accesses.
  *
- * All calls are made at issue time of the (in-order) core. When a
- * store replies with a stall, the engine remembers the (proc, addr)
- * waiter and later calls Core::resumeStall(); the core then re-issues
- * the same store.
+ * The in-order core makes all calls at issue time. When a store
+ * replies with a stall, the engine remembers the (proc, addr) waiter
+ * and later calls Core::resumeStall(); the core then re-issues the
+ * same store.
+ *
+ * The OoO core splits the load path: specLoadIssue performs the
+ * access (timing and traffic) when the load issues, possibly long
+ * before older stores have performed, and noteLoadRetire registers
+ * the read with the violation detector when the load retires in
+ * program order — the relaxed-memory discipline of docs/OOO_CORE.md.
+ * Stores always perform through specStore, at retirement.
  */
 class SpecMemoryIf
 {
@@ -57,6 +64,30 @@ class SpecMemoryIf
 
     /** Write by the current task of processor @p proc. */
     virtual StoreReply specStore(ProcId proc, Addr addr, Cycle now) = 0;
+
+    /**
+     * Perform a speculative load early (OoO issue) without recording
+     * it with the violation detector. Defaults to specLoad so simple
+     * memories (tests) need not distinguish the two.
+     */
+    virtual LoadReply
+    specLoadIssue(ProcId proc, Addr addr, Cycle now)
+    {
+        return specLoad(proc, addr, now);
+    }
+
+    /**
+     * The load issued earlier via specLoadIssue reached in-order
+     * retirement: register the read (violation-detection bookkeeping
+     * only; no latency). Default: nothing to record.
+     */
+    virtual void
+    noteLoadRetire(ProcId proc, Addr addr, Cycle now)
+    {
+        (void)proc;
+        (void)addr;
+        (void)now;
+    }
 };
 
 } // namespace tlsim::cpu

@@ -35,6 +35,30 @@ meshDistanceRatio(unsigned nodes)
 
 } // namespace
 
+const char *
+coreModelName(CoreModelKind kind)
+{
+    switch (kind) {
+      case CoreModelKind::InOrder:
+        return "inorder";
+      case CoreModelKind::OutOfOrder:
+        return "ooo";
+    }
+    return "?";
+}
+
+bool
+parseCoreModelName(const std::string &name, CoreModelKind *out)
+{
+    if (name == "inorder")
+        *out = CoreModelKind::InOrder;
+    else if (name == "ooo")
+        *out = CoreModelKind::OutOfOrder;
+    else
+        return false;
+    return true;
+}
+
 MachineParams
 MachineParams::numa16()
 {

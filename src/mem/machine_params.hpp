@@ -18,6 +18,15 @@ namespace tlsim::mem {
 /** Which machine of the paper's Section 4.1 is being modeled. */
 enum class MachineKind { Numa16, Cmp8 };
 
+/** Which processor timing model drives the cores (DESIGN.md §5). */
+enum class CoreModelKind : std::uint8_t { InOrder, OutOfOrder };
+
+/** Stable lower-case name ("inorder"/"ooo"); drivers' --core values. */
+const char *coreModelName(CoreModelKind kind);
+
+/** Parse a --core value; returns false on an unknown name. */
+bool parseCoreModelName(const std::string &name, CoreModelKind *out);
+
 /**
  * Machine parameters.
  *
@@ -105,7 +114,15 @@ struct MachineParams {
     double ipc = 2.0;          ///< sustained non-memory IPC (4-issue core)
     Cycle loadHide = 12;       ///< load latency the OoO window hides
     unsigned storeBufEntries = 16;
-    unsigned maxPendingLoads = 8;
+    unsigned maxPendingLoads = 8; ///< OoO outstanding-miss (MLP) cap
+    /** Which timing model drives the processors (docs/OOO_CORE.md).
+     *  InOrder is the byte-identical default; OutOfOrder enables the
+     *  bounded-window core with relaxed-order speculative loads. */
+    CoreModelKind coreModel = CoreModelKind::InOrder;
+    unsigned oooWindow = 64;    ///< unretired memory-op window depth
+    unsigned oooIssueWidth = 4; ///< memory-op issues/cycle (paper: 4)
+    unsigned lsqEntries = 16;   ///< unperformed stores the LSQ holds
+    Cycle lsqForwardCycles = 2; ///< store-to-load forward latency
     ///@}
 
     /** @name TLS overheads */

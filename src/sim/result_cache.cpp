@@ -150,6 +150,11 @@ foldMachine(KeyHasher &h, const mem::MachineParams &m)
     h.u64(m.loadHide);
     h.u64(m.storeBufEntries);
     h.u64(m.maxPendingLoads);
+    h.u64(std::uint64_t(m.coreModel));
+    h.u64(m.oooWindow);
+    h.u64(m.oooIssueWidth);
+    h.u64(m.lsqEntries);
+    h.u64(m.lsqForwardCycles);
     h.u64(m.commitFixedCycles);
     h.u64(m.commitIssueGap);
     h.u64(m.finalMergeGap);

@@ -12,6 +12,7 @@
 #include "common/log.hpp"
 #include "common/task_pool.hpp"
 #include "common/trace.hpp"
+#include "cpu/ooo_core.hpp"
 #include "mem/geometry.hpp"
 #include "noc/crossbar.hpp"
 #include "noc/mesh.hpp"
@@ -125,12 +126,26 @@ SpeculationEngine::SpeculationEngine(const EngineConfig &cfg,
     core_params.ipc = m.ipc;
     core_params.loadHide = m.loadHide;
     core_params.storeBufEntries = m.storeBufEntries;
+    core_params.oooWindow = m.oooWindow;
+    core_params.oooIssueWidth = m.oooIssueWidth;
+    core_params.maxPendingLoads = m.maxPendingLoads;
+    core_params.lsqEntries = m.lsqEntries;
+    core_params.lsqForwardCycles = m.lsqForwardCycles;
+    // The LSQ snoop must use the same conflict granularity as the
+    // violation detector, or replays and squashes would disagree.
+    core_params.conflictShift = m.wordGranularityDetection ? 3 : 6;
 
+    oooActive_ = !cfg_.sequential &&
+                 m.coreModel == mem::CoreModelKind::OutOfOrder;
     for (ProcId p = 0; p < m.numProcs; ++p) {
         EventQueue &peq = sched_.queue(
             sched_.plan().partitionOfNode(nodeOfProc_[p]));
-        cores_.push_back(std::make_unique<cpu::Core>(
-            p, peq, core_params, *this, *this));
+        if (oooActive_)
+            cores_.push_back(std::make_unique<cpu::OoOCore>(
+                p, peq, core_params, *this, *this));
+        else
+            cores_.push_back(std::make_unique<cpu::Core>(
+                p, peq, core_params, *this, *this));
         l1_.push_back(
             std::make_unique<mem::VersionedCache>(m.l1, false));
         l2_.push_back(std::make_unique<mem::VersionedCache>(
@@ -282,7 +297,7 @@ SpeculationEngine::tryDispatch(ProcId proc)
         return;
     if (cfg_.sequential && proc != 0)
         return;
-    cpu::Core &core = *cores_[proc];
+    cpu::CoreModel &core = *cores_[proc];
     if (!core.idle())
         return;
     if (procInRecovery_[proc])
@@ -377,7 +392,7 @@ SpeculationEngine::maybeCommit()
                                     cfg_.machine.tokenPassCycles);
         if (cfg_.scheme.separation == Separation::SingleT) {
             // The processor itself performs the merge.
-            cpu::Core &core = *cores_[r.proc];
+            cpu::CoreModel &core = *cores_[r.proc];
             if (!core.idle())
                 panic("SingleT commit: owner core not idle");
             core.startWorkBlock(dur, CycleKind::CommitWork,
@@ -530,8 +545,8 @@ SpeculationEngine::finishCommit(TaskId id)
         auto waiters = std::move(it->second);
         svWaiters_.erase(it);
         for (auto [proc, task] : waiters) {
-            cpu::Core &core = *cores_[proc];
-            if (core.state() == cpu::Core::State::StallStore &&
+            cpu::CoreModel &core = *cores_[proc];
+            if (core.state() == cpu::CoreModel::State::StallStore &&
                 core.currentTask() == task) {
                 core.resumeStall();
             }
@@ -557,8 +572,8 @@ SpeculationEngine::resumeOverflowWaiters()
     auto waiters = std::move(overflowWaiters_);
     overflowWaiters_.clear();
     for (auto [proc, task] : waiters) {
-        cpu::Core &core = *cores_[proc];
-        if (core.state() == cpu::Core::State::StallStore &&
+        cpu::CoreModel &core = *cores_[proc];
+        if (core.state() == cpu::CoreModel::State::StallStore &&
             core.currentTask() == task) {
             core.resumeStall();
         }
@@ -790,7 +805,7 @@ SpeculationEngine::scheduleAmmRecovery(ProcId proc, Cycle cycles)
     procInRecovery_[proc] = true;
     if (recoveryBlockActive_[proc])
         return;
-    cpu::Core &core = *cores_[proc];
+    cpu::CoreModel &core = *cores_[proc];
     if (!core.idle())
         panic("scheduleAmmRecovery: core not idle");
     Cycle dur = pendingRecovery_[proc];
@@ -817,7 +832,7 @@ SpeculationEngine::runRecoveryQueue()
 
     TaskId id = recoveryQueue_.front();
     ProcId proc = recoveryProc_.at(id);
-    cpu::Core &core = *cores_[proc];
+    cpu::CoreModel &core = *cores_[proc];
     if (!core.idle()) {
         // The owner is running an unrelated (earlier, unsquashed)
         // task: the recovery handler waits for the processor.

@@ -87,6 +87,9 @@ class SpeculationEngine : public cpu::SpecMemoryIf,
     cpu::LoadReply specLoad(ProcId proc, Addr addr, Cycle now) override;
     cpu::StoreReply specStore(ProcId proc, Addr addr,
                               Cycle now) override;
+    cpu::LoadReply specLoadIssue(ProcId proc, Addr addr,
+                                 Cycle now) override;
+    void noteLoadRetire(ProcId proc, Addr addr, Cycle now) override;
     ///@}
 
     /** @name cpu::CoreListener */
@@ -132,7 +135,9 @@ class SpeculationEngine : public cpu::SpecMemoryIf,
     std::vector<Resource> dirBanks_;
 
     // --- per-processor state ---
-    std::vector<std::unique_ptr<cpu::Core>> cores_;
+    std::vector<std::unique_ptr<cpu::CoreModel>> cores_;
+    /** True when any core is the OoO model (enables store snooping). */
+    bool oooActive_ = false;
     std::vector<std::unique_ptr<mem::VersionedCache>> l1_;
     std::vector<std::unique_ptr<mem::VersionedCache>> l2_;
     std::unique_ptr<mem::VersionedCache> l3_; // CMP shared
@@ -298,6 +303,16 @@ class SpeculationEngine : public cpu::SpecMemoryIf,
 
     cpu::LoadReply seqLoad(ProcId proc, Addr addr, Cycle now);
     cpu::StoreReply seqStore(ProcId proc, Addr addr, Cycle now);
+
+    /**
+     * Shared speculative-load body. @p note controls whether the read
+     * is registered with the violation detector: true for the in-order
+     * core (read performs and retires atomically), false for the OoO
+     * core's issue-time access (bookkeeping deferred to
+     * noteLoadRetire, per-retirement).
+     */
+    cpu::LoadReply loadForTask(ProcId proc, Addr addr, Cycle now,
+                               bool note);
 
     /**
      * Fault injection: displace the just-created version @p tag of

@@ -424,6 +424,47 @@ SpeculationEngine::vclMergeLine(Addr line, Cycle now)
 cpu::LoadReply
 SpeculationEngine::specLoad(ProcId proc, Addr addr, Cycle now)
 {
+    return loadForTask(proc, addr, now, /*note=*/true);
+}
+
+cpu::LoadReply
+SpeculationEngine::specLoadIssue(ProcId proc, Addr addr, Cycle now)
+{
+    // OoO issue-time access: full timing and cache effects, but the
+    // read record is deferred to noteLoadRetire — undo/version
+    // bookkeeping stays per-retirement (program order).
+    return loadForTask(proc, addr, now, /*note=*/false);
+}
+
+void
+SpeculationEngine::noteLoadRetire(ProcId proc, Addr addr, Cycle now)
+{
+    (void)now;
+    if (cfg_.sequential)
+        return;
+    const mem::MachineParams &m = cfg_.machine;
+    TaskId task = cores_[proc]->currentTask();
+    Addr line = mem::lineAddr(addr);
+    Addr word = m.wordGranularityDetection ? mem::wordAddr(addr)
+                                           : mem::lineAddr(addr);
+    TaskRecord &r = rec(task);
+    if (r.readWords.insert(word)) {
+        TaskId observed =
+            m.wordGranularityDetection
+                ? versions_.latestWordWriter(line, mem::wordBit(addr),
+                                             task)
+                : (versions_.latestVisible(line, task)
+                       ? versions_.latestVisible(line, task)
+                             ->tag.producer
+                       : 0);
+        detector_.noteRead(word, task, observed);
+    }
+}
+
+cpu::LoadReply
+SpeculationEngine::loadForTask(ProcId proc, Addr addr, Cycle now,
+                               bool note)
+{
     if (cfg_.sequential)
         return seqLoad(proc, addr, now);
 
@@ -450,15 +491,17 @@ SpeculationEngine::specLoad(ProcId proc, Addr addr, Cycle now)
         // below mutates the version index).
         f1->lastUse = now;
         counters_.inc(sid_.l1Hits);
-        TaskRecord &fr = rec(task);
-        if (fr.readWords.insert(word)) {
-            TaskId observed =
-                m.wordGranularityDetection
-                    ? (list ? VersionMap::latestWordWriterIn(
-                                  *list, mem::wordBit(addr), task)
-                            : 0)
-                    : (v ? v->tag.producer : 0);
-            detector_.noteRead(word, task, observed);
+        if (note) {
+            TaskRecord &fr = rec(task);
+            if (fr.readWords.insert(word)) {
+                TaskId observed =
+                    m.wordGranularityDetection
+                        ? (list ? VersionMap::latestWordWriterIn(
+                                      *list, mem::wordBit(addr), task)
+                                : 0)
+                        : (v ? v->tag.producer : 0);
+                detector_.noteRead(word, task, observed);
+            }
         }
         return {m.latL1};
     }
@@ -506,17 +549,20 @@ SpeculationEngine::specLoad(ProcId proc, Addr addr, Cycle now)
         }
     }
 
-    TaskRecord &r = rec(task);
-    if (r.readWords.insert(word)) {
-        TaskId observed =
-            m.wordGranularityDetection
-                ? versions_.latestWordWriter(line, mem::wordBit(addr),
-                                             task)
-                : (versions_.latestVisible(line, task)
-                       ? versions_.latestVisible(line, task)
-                             ->tag.producer
-                       : 0);
-        detector_.noteRead(word, task, observed);
+    if (note) {
+        TaskRecord &r = rec(task);
+        if (r.readWords.insert(word)) {
+            TaskId observed =
+                m.wordGranularityDetection
+                    ? versions_.latestWordWriter(line,
+                                                 mem::wordBit(addr),
+                                                 task)
+                    : (versions_.latestVisible(line, task)
+                           ? versions_.latestVisible(line, task)
+                                 ->tag.producer
+                           : 0);
+            detector_.noteRead(word, task, observed);
+        }
     }
     return {lat};
 }
@@ -549,6 +595,18 @@ SpeculationEngine::specStore(ProcId proc, Addr addr, Cycle now)
     }
     if (victim != kNoTask)
         performSquash(victim, proc);
+
+    // OoO cores: in-flight loads to the same detection-granularity
+    // word must re-obtain their data before they may retire (the LSQ
+    // half of the relaxed-order safety net; already-retired reads are
+    // the detector's job above). The snoop is a synchronous mutation
+    // under the ordered-PDES total order, so it is deterministic at
+    // any partition count.
+    if (oooActive_) {
+        for (ProcId q = 0; q < numProcs(); ++q)
+            if (q != proc)
+                cores_[q]->snoopStore(addr);
+    }
 
     VersionTag my_tag = r.tag();
     // Probed after the squash above (which removes versions); reused

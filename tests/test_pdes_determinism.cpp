@@ -199,6 +199,110 @@ TEST(PdesDeterminism, TraceIdenticalAcrossPartitionCounts)
     }
 }
 
+TEST(PdesDeterminism, OooPointIdenticalAcrossPartitionCounts)
+{
+    // The out-of-order core (docs/OOO_CORE.md) mutates remote cores
+    // synchronously on every speculative store (LSQ snoop), so its
+    // determinism depends on the ordered merge giving every partition
+    // count the same total event order. Both a fig9-style point and a
+    // squashing synthetic point must be invariant.
+    mem::MachineParams ooo = mem::MachineParams::numa16();
+    ooo.coreModel = mem::CoreModelKind::OutOfOrder;
+    tls::RunResult base =
+        sim::runScheme(smallTree(), mvLazy(), ooo, {}, 1);
+    ASSERT_GT(base.execTime, 0u);
+    // The flag must actually change the timing model, not be ignored.
+    tls::RunResult inorder = sim::runScheme(
+        smallTree(), mvLazy(), mem::MachineParams::numa16(), {}, 1);
+    EXPECT_NE(base.execTime, inorder.execTime);
+    EXPECT_EQ(base.memStateHash, inorder.memStateHash);
+    for (unsigned parts : {2u, 4u}) {
+        tls::RunResult got =
+            sim::runScheme(smallTree(), mvLazy(), ooo, {}, parts);
+        expectIdentical(base, got,
+                        "ooo partitions=" + std::to_string(parts));
+    }
+
+    mem::MachineParams mesh = mem::MachineParams::mesh(64);
+    mesh.coreModel = mem::CoreModelKind::OutOfOrder;
+    apps::SynthSpec spec = mesh64Spec();
+    tls::RunResult synth_base =
+        sim::runSynthScheme(spec, mvLazy(), mesh, {}, 1);
+    EXPECT_GT(synth_base.squashEvents, 0u);
+    for (unsigned parts : {2u, 4u}) {
+        tls::RunResult got =
+            sim::runSynthScheme(spec, mvLazy(), mesh, {}, parts);
+        expectIdentical(synth_base, got,
+                        "ooo synth partitions=" + std::to_string(parts));
+    }
+}
+
+TEST(PdesDeterminism, OooFigureTableIdenticalAcrossMatrix)
+{
+    mem::MachineParams ooo = mem::MachineParams::numa16();
+    ooo.coreModel = mem::CoreModelKind::OutOfOrder;
+    apps::AppParams app = smallTree();
+    std::vector<tls::SchemeConfig> schemes = {
+        {tls::Separation::SingleT, tls::Merging::EagerAMM, false},
+        mvLazy(),
+    };
+    std::string base_table;
+    for (unsigned parts : {1u, 2u, 4u}) {
+        for (unsigned threads : {1u, 2u}) {
+            std::vector<sim::AppStudy> studies = sim::runStudySweep(
+                {app}, schemes, ooo, 2, threads, {}, parts);
+            std::string table =
+                sim::renderFigure("ooo-pdes-determinism", studies);
+            if (base_table.empty())
+                base_table = table;
+            else
+                EXPECT_EQ(table, base_table)
+                    << "partitions=" << parts
+                    << " threads=" << threads;
+        }
+    }
+    EXPECT_FALSE(base_table.empty());
+}
+
+TEST(PdesDeterminism, OooTraceIdenticalAcrossPartitionCounts)
+{
+    if (!trace::builtIn())
+        GTEST_SKIP() << "tracing compiled out";
+    // Strongest OoO observable: every record including the per-op
+    // core issue/retire/replay stream must be byte-identical across
+    // partition counts.
+    mem::MachineParams ooo = mem::MachineParams::numa16();
+    ooo.coreModel = mem::CoreModelKind::OutOfOrder;
+    std::vector<trace::Record> base;
+    for (unsigned parts : {1u, 2u, 4u}) {
+        trace::Options opts;
+        opts.mask = trace::kMaskAll | trace::kMaskCore;
+        trace::start(opts);
+        tls::RunResult r =
+            sim::runScheme(smallTree(), mvLazy(), ooo, {}, parts);
+        trace::stop();
+        ASSERT_GT(r.execTime, 0u);
+        ASSERT_EQ(trace::droppedRecords(), 0u);
+        std::vector<trace::Record> records = trace::drain();
+        trace::reset();
+        ASSERT_FALSE(records.empty()) << "partitions=" << parts;
+        bool have_core = false;
+        for (const trace::Record &rec : records)
+            if (rec.kind == std::uint8_t(trace::Kind::CoreIssue))
+                have_core = true;
+        EXPECT_TRUE(have_core);
+        if (base.empty()) {
+            base = std::move(records);
+        } else {
+            ASSERT_EQ(records.size(), base.size())
+                << "partitions=" << parts;
+            for (std::size_t i = 0; i < records.size(); ++i)
+                ASSERT_TRUE(records[i] == base[i])
+                    << "partitions=" << parts << " record " << i;
+        }
+    }
+}
+
 TEST(PdesDeterminism, EnvPartitionCountMatchesExplicit)
 {
     // TLSIM_PARTITIONS must steer drivers that never pass the flag —

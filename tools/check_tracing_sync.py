@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Check that docs/TRACING.md's record table matches trace::Kind.
+
+The unit test TraceDoc.RecordTableMatchesKindEnum enforces the same
+property from the C++ side, but only when the test suite is built and
+run; this script gives the docs CI job (no toolchain) the same gate.
+It parses
+
+* ``kNumKinds`` from ``src/common/trace.hpp``,
+* the ``kKindNames`` initializer from ``src/common/trace.cpp``, and
+* the ``| `name` | value | ...`` rows between the
+  ``<!-- kinds-table:begin/end -->`` markers in ``docs/TRACING.md``,
+
+then verifies the three agree: every enum name is documented exactly
+once, no stale rows remain, and each row's value column equals the
+enumerator's position. Standard library only; exit 0 on agreement.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+
+def parse_enum(repo: Path) -> list[str]:
+    hpp = (repo / "src/common/trace.hpp").read_text(encoding="utf-8")
+    m = re.search(r"kNumKinds\s*=\s*(\d+)", hpp)
+    if not m:
+        sys.exit("check_tracing_sync: kNumKinds not found in trace.hpp")
+    num_kinds = int(m.group(1))
+
+    cpp = (repo / "src/common/trace.cpp").read_text(encoding="utf-8")
+    m = re.search(
+        r"kKindNames\[kNumKinds\]\s*=\s*\{(.*?)\};", cpp, re.DOTALL
+    )
+    if not m:
+        sys.exit("check_tracing_sync: kKindNames not found in trace.cpp")
+    names = re.findall(r'"([^"]+)"', m.group(1))
+    if len(names) != num_kinds:
+        sys.exit(
+            f"check_tracing_sync: kKindNames has {len(names)} entries "
+            f"but kNumKinds is {num_kinds}"
+        )
+    return names
+
+
+def parse_doc(repo: Path) -> dict[str, int]:
+    doc = (repo / "docs/TRACING.md").read_text(encoding="utf-8")
+    begin = doc.find("<!-- kinds-table:begin -->")
+    end = doc.find("<!-- kinds-table:end -->")
+    if begin < 0 or end < 0 or end < begin:
+        sys.exit("check_tracing_sync: kinds-table markers missing")
+    rows: dict[str, int] = {}
+    for line in doc[begin:end].splitlines():
+        m = re.match(r"\|\s*`([^`]+)`\s*\|\s*(\d+)\s*\|", line)
+        if not m:
+            continue
+        name = m.group(1)
+        if name in rows:
+            sys.exit(f"check_tracing_sync: duplicate row '{name}'")
+        rows[name] = int(m.group(2))
+    return rows
+
+
+def main() -> int:
+    repo = Path(__file__).resolve().parent.parent
+    names = parse_enum(repo)
+    rows = parse_doc(repo)
+
+    errors: list[str] = []
+    for value, name in enumerate(names):
+        if name not in rows:
+            errors.append(f"enum kind '{name}' ({value}) undocumented")
+        elif rows[name] != value:
+            errors.append(
+                f"'{name}' documented as {rows[name]}, enum says {value}"
+            )
+    for name in rows:
+        if name not in names:
+            errors.append(f"stale documented kind '{name}'")
+
+    for e in errors:
+        print(f"docs/TRACING.md: {e}", file=sys.stderr)
+    print(
+        f"check_tracing_sync: {len(names)} kinds, "
+        f"{len(rows)} documented rows, {len(errors)} mismatch(es)"
+    )
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
