@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Result-store acceptance, fig9 leg (DESIGN.md §10): a warm rerun of
+# fig9 must answer every point from the content-addressed store (zero
+# misses) with a byte-identical figure table, and a sampled
+# --cache-verify rerun recomputes hits and hard-fails on any byte
+# difference.
+set -euo pipefail
+BUILD_DIR="${BUILD_DIR:-build}"
+cd "$BUILD_DIR"
+./bench/bench_fig9_numa --threads="$(nproc)" \
+  --cache-dir=ci-cache --cache-stats=cache_stats.jsonl > fig9_cold.txt
+./bench/bench_fig9_numa --threads="$(nproc)" \
+  --cache-dir=ci-cache --cache-stats=cache_stats.jsonl > fig9_warm.txt
+diff fig9_cold.txt fig9_warm.txt
+python3 -c 'import json; \
+  cold, warm = [json.loads(l) for l in open("cache_stats.jsonl")]; \
+  assert cold["misses"] > 0 and cold["stores"] == cold["misses"], cold; \
+  assert warm["misses"] == 0 and warm["hits"] > 0, warm; \
+  assert warm["hits"] == cold["misses"], (cold, warm)'
+./bench/bench_fig9_numa --threads="$(nproc)" \
+  --cache-dir=ci-cache --cache-verify=0.1 \
+  --cache-stats=cache_verify_stats.jsonl > fig9_verified.txt
+diff fig9_cold.txt fig9_verified.txt

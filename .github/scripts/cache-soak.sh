@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Result-store acceptance, soak leg: a faulted soak schedule rerun
+# warm with --cache-verify=1.0 must recompute every hit and match
+# byte-for-byte.
+set -euo pipefail
+BUILD_DIR="${BUILD_DIR:-build}"
+cd "$BUILD_DIR"
+./bench/bench_soak --short --cache-dir=soak-cache \
+  --cache-stats=soak_stats.jsonl
+./bench/bench_soak --short --cache-dir=soak-cache \
+  --cache-verify=1.0 --cache-stats=soak_stats.jsonl
+python3 -c 'import json; \
+  cold, warm = [json.loads(l) for l in open("soak_stats.jsonl")]; \
+  assert warm["misses"] == 0 and warm["hits"] > 0, warm; \
+  assert warm["verified"] == warm["hits"], warm'

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Figure tables (deterministic output — both compilers and any thread
+# count produce identical tables). PR tier generates the three paper
+# figures; the nightly tier regenerates them at full fidelity plus the
+# fig9 Predict+Validate variant and diffs rankings against goldens/.
+set -euo pipefail
+BUILD_DIR="${BUILD_DIR:-build}"
+cd "$BUILD_DIR"
+mkdir -p figure-tables
+./bench/bench_fig9_numa --threads="$(nproc)" > figure-tables/fig9.txt
+./bench/bench_fig10_amm_fmm --threads="$(nproc)" > figure-tables/fig10.txt
+./bench/bench_fig11_cmp --threads="$(nproc)" > figure-tables/fig11.txt

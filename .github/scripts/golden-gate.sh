@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Nightly golden-table ranking gate: every figure table regenerated at
+# full fidelity is diffed against its committed golden. Numeric drift
+# is tolerated; a scheme-ranking change fails the nightly unless the
+# new ranking signature appears in an EXPERIMENTS.md note (see
+# tools/golden_check.py --help for the refresh workflow).
+set -euo pipefail
+BUILD_DIR="${BUILD_DIR:-build}"
+for fig in fig9 fig9_validate fig10 fig11; do
+  python3 tools/golden_check.py --fig "$fig" \
+    --golden "goldens/${fig}.txt" \
+    --current "$BUILD_DIR/figure-tables/${fig}.txt"
+done

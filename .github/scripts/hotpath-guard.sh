@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Hot-path perf guard, two layers:
+#  1. bench_hotpath's self-check: exits non-zero if any tracked
+#     *_speedup falls below 1.0 (new code slower than the embedded
+#     pre-optimization baselines), if the A/B checksums diverge, or if
+#     the steady-state allocation counters are non-zero.
+#  2. Perf-trend gate: tools/bench_compare.py diffs the fresh report
+#     against the committed BENCH_hotpath.json and fails on >10%
+#     regression in any tracked ratio (unit "x").
+set -euo pipefail
+BUILD_DIR="${BUILD_DIR:-build}"
+(cd "$BUILD_DIR" && ./bench/bench_hotpath --short --out BENCH_hotpath_ci.json)
+python3 tools/bench_compare.py --current "$BUILD_DIR/BENCH_hotpath_ci.json"

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Partitioned-PDES determinism (DESIGN.md §9): the full fig9 figure
+# table, its recorded trace, and the per-point determinism oracles
+# (execTime + memStateHash of a fig9 point and a mesh64 synthetic
+# point) must be byte-identical at --partitions 1 and 4, and the
+# partitioned run's trace must audit clean.
+set -euo pipefail
+BUILD_DIR="${BUILD_DIR:-build}"
+cd "$BUILD_DIR"
+./bench/bench_fig9_numa --partitions=1 --trace=fig9_p1.bin > fig9_p1.txt
+./bench/bench_fig9_numa --partitions=4 --trace=fig9_p4.bin > fig9_p4.txt
+diff fig9_p1.txt fig9_p4.txt
+cmp fig9_p1.bin fig9_p4.bin
+./bench/bench_inspect --audit fig9_p1.bin fig9_p4.bin
+./bench/bench_hotpath --pdes-point --partitions=1 > point_p1.txt
+./bench/bench_hotpath --pdes-point --partitions=4 > point_p4.txt
+diff point_p1.txt point_p4.txt

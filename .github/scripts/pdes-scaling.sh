@@ -1,0 +1,8 @@
+#!/usr/bin/env bash
+# PDES scaling report: parallel-mode events/sec at 1/2/4/8 partitions
+# over the mesh64-shaped plan; the CSV is uploaded as an artifact so
+# the scaling trajectory is comparable across PRs.
+set -euo pipefail
+BUILD_DIR="${BUILD_DIR:-build}"
+python3 tools/pdes_scale.py --bench "$BUILD_DIR/bench/bench_hotpath" \
+  --short --csv-out "$BUILD_DIR/pdes_scaling_ci.csv"

@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Synthetic adversarial sweep (EXPERIMENTS.md): Pareto tables of
+# speedup vs buffering cost over topology x kind x scheme via the
+# stdlib-only frontend; must reproduce at least one Table 2 ranking
+# inversion. The CSV is uploaded as an artifact.
+set -euo pipefail
+BUILD_DIR="${BUILD_DIR:-build}"
+python3 tools/synth_sweep.py --bench "$BUILD_DIR/bench/bench_synth_sweep" \
+  --quick --threads "$(nproc)" --machines numa16,mesh64,cmp32 \
+  --csv-out "$BUILD_DIR/synth_sweep_ci.csv" --require-inversion

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Trace self-audit (docs/TRACING.md): record real runs' task-lifetime
+# traces and replay them against the cross-component invariants.
+# Catches protocol regressions the figure tables can't see (e.g. a
+# version leaking across a squash, or a predicted read that is never
+# validated or squash-discharged — invariant 8).
+set -euo pipefail
+BUILD_DIR="${BUILD_DIR:-build}"
+cd "$BUILD_DIR"
+./bench/bench_fig5_timeline --trace=fig5_ci.bin > /dev/null
+./bench/bench_fig6_wavefronts --trace=fig6_ci.bin > /dev/null
+./bench/bench_inspect --audit fig5_ci.bin fig6_ci.bin

@@ -25,11 +25,14 @@ main(int argc, char **argv)
     // keeps a core-mask trace (docs/TRACING.md) inside one ring.
     const char *only_app = nullptr;
     unsigned reps = 3;
+    bool validate = false;
     for (int i = 1; i < argc; ++i) {
         if (std::strncmp(argv[i], "--app=", 6) == 0)
             only_app = argv[i] + 6;
         else if (std::strncmp(argv[i], "--reps=", 7) == 0)
             reps = unsigned(std::atoi(argv[i] + 7));
+        else if (std::strcmp(argv[i], "--validate") == 0)
+            validate = true;
     }
     if (reps == 0)
         reps = 1;
@@ -48,6 +51,15 @@ main(int argc, char **argv)
         {tls::Separation::MultiTMV, tls::Merging::EagerAMM, false},
         {tls::Separation::MultiTMV, tls::Merging::LazyAMM, false},
     };
+    // --validate appends the Predict+Validate variant of every column
+    // (DESIGN.md §11). The default six keep their positions, so the
+    // headline indices below and the no-flag output are unchanged.
+    if (validate) {
+        std::size_t base = schemes.size();
+        for (std::size_t i = 0; i < base; ++i)
+            schemes.push_back(schemes[i].withValidation(
+                tls::Validation::PredictValidate));
+    }
 
     std::vector<apps::AppParams> suite = apps::appSuite();
     if (only_app != nullptr) {

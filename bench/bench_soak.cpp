@@ -390,7 +390,11 @@ main(int argc, char **argv)
         inorder_file = trace::drainFile();
         trace::reset();
         trace::Options opts;
-        opts.mask = trace::kMaskAudit | trace::kMaskCore;
+        // The value category rides along so the predict+validate
+        // phase below is covered by audit invariant 8 (every
+        // predicted read validated or squashed).
+        opts.mask = trace::kMaskAudit | trace::kMaskCore |
+                    trace::kMaskValue;
         // ~2 core records per memory op on top of the audit kinds:
         // the phase needs roughly twice the ring of an audit-only
         // round set.
@@ -489,17 +493,119 @@ main(int argc, char **argv)
                       phase_state_ok ? "match" : "DIVERGED"});
     }
 
+    // Predict+Validate phase: the synthetic suite (whose SquashStorm
+    // and Reduce kinds manufacture the invalidation churn the
+    // predictor feeds on) under every evaluated scheme with the
+    // validation axis enabled. On top of the usual faulted-vs-clean
+    // pair, the clean Predict+Validate image must equal the clean
+    // validation=None image: prediction is a timing policy and may
+    // never change what commits (DESIGN.md §11).
+    std::uint64_t vp_predictions = 0;
+    {
+        mem::MachineParams machine = mem::MachineParams::numa16();
+        const fault::FaultSpec spec = fixed_spec.anyEnabled()
+                                          ? fixed_spec
+                                          : drawSchedule(master);
+        std::vector<tls::SchemeConfig> vp_schemes;
+        for (const tls::SchemeConfig &s : schemes)
+            vp_schemes.push_back(
+                s.withValidation(tls::Validation::PredictValidate));
+        const unsigned vp_tasks = short_mode ? 24 : 48;
+        const unsigned vp_fp = short_mode ? 96 : 192;
+        std::uint64_t vp_seed = seed + 0xa0761d6478bd642fULL;
+        const std::vector<apps::SynthSpec> vp_specs = apps::synthSuite(
+            vp_tasks, vp_fp, splitmix64(vp_seed));
+
+        std::vector<sim::SynthStudy> faulted = sim::runSynthSweep(
+            vp_specs, vp_schemes, machine, threads, spec);
+        std::vector<sim::SynthStudy> clean = sim::runSynthSweep(
+            vp_specs, vp_schemes, machine, threads, {});
+        std::vector<sim::SynthStudy> baseline = sim::runSynthSweep(
+            vp_specs, schemes, machine, threads, {});
+
+        unsigned phase_points = 0;
+        fault::FaultCounters phase_injected;
+        bool phase_state_ok = true;
+        for (std::size_t a = 0; a < vp_specs.size(); ++a) {
+            for (std::size_t s = 0; s < schemes.size(); ++s) {
+                const tls::RunResult &f = faulted[a].outcomes[s].result;
+                const tls::RunResult &c = clean[a].outcomes[s].result;
+                const tls::RunResult &b = baseline[a].outcomes[s].result;
+                ++tally.points;
+                ++phase_points;
+                vp_predictions +=
+                    f.counters.get("value_predictions") +
+                    c.counters.get("value_predictions");
+                if (f.committedTasks != vp_specs[a].tasks ||
+                    c.committedTasks != vp_specs[a].tasks) {
+                    ++tally.completionFailures;
+                    std::fprintf(stderr,
+                                 "soak: vp %s/%s committed %llu/%u "
+                                 "tasks\n",
+                                 vp_specs[a].name().c_str(),
+                                 vp_schemes[s].name().c_str(),
+                                 (unsigned long long)f.committedTasks,
+                                 vp_specs[a].tasks);
+                }
+                if (f.memStateHash != c.memStateHash ||
+                    f.memStateLines != c.memStateLines) {
+                    ++tally.stateMismatches;
+                    phase_state_ok = false;
+                    std::fprintf(
+                        stderr,
+                        "soak: vp %s/%s faulted-vs-clean memory-state "
+                        "divergence\n  spec: %s\n  schedule: %s\n",
+                        vp_specs[a].name().c_str(),
+                        vp_schemes[s].name().c_str(),
+                        vp_specs[a].canonical().c_str(),
+                        spec.canonical().c_str());
+                }
+                if (c.memStateHash != b.memStateHash ||
+                    c.memStateLines != b.memStateLines) {
+                    ++tally.stateMismatches;
+                    phase_state_ok = false;
+                    std::fprintf(
+                        stderr,
+                        "soak: vp %s/%s predicted-vs-baseline "
+                        "memory-state divergence (%016llx/%llu vs "
+                        "%016llx/%llu)\n",
+                        vp_specs[a].name().c_str(),
+                        vp_schemes[s].name().c_str(),
+                        (unsigned long long)c.memStateHash,
+                        (unsigned long long)c.memStateLines,
+                        (unsigned long long)b.memStateHash,
+                        (unsigned long long)b.memStateLines);
+                }
+                tally.fold(f.faults);
+                phase_injected.spuriousSquashes +=
+                    f.faults.spuriousSquashes;
+                phase_injected.commitSquashes +=
+                    f.faults.commitSquashes;
+            }
+        }
+        char injected[96];
+        std::snprintf(injected, sizeof(injected), "sq %llu+%llu",
+                      (unsigned long long)phase_injected.spuriousSquashes,
+                      (unsigned long long)phase_injected.commitSquashes);
+        table.addRow({"vp", "NUMA-16", spec.canonical(),
+                      std::to_string(phase_points), injected,
+                      phase_state_ok ? "match" : "DIVERGED"});
+    }
+
     std::fputs(table.render().c_str(), stdout);
 
     // The soak must actually have exercised every fault site: a soak
     // where (say) no NoC stall ever fired proves nothing about stalls.
+    // The predict+validate phase likewise proves nothing if the
+    // predictor never fired.
     bool coverage_ok = tally.injected.nocDelays > 0 &&
                        tally.injected.nocStalls > 0 &&
                        tally.injected.forcedSpills > 0 &&
                        tally.injected.overflowPressure > 0 &&
                        tally.injected.undoStressEvents > 0 &&
                        tally.injected.spuriousSquashes > 0 &&
-                       tally.injected.commitSquashes > 0;
+                       tally.injected.commitSquashes > 0 &&
+                       vp_predictions > 0;
 
     std::size_t audit_issues = 0;
     if (tracing) {
@@ -533,12 +639,15 @@ main(int argc, char **argv)
     }
 
     std::printf("\nSoak summary: %u points, %u completion failures, "
-                "%u state mismatches, %llu injected faults%s\n",
+                "%u state mismatches, %llu injected faults, "
+                "%llu value predictions%s\n",
                 tally.points, tally.completionFailures,
                 tally.stateMismatches,
                 (unsigned long long)tally.injected.total(),
+                (unsigned long long)vp_predictions,
                 coverage_ok ? "" : " (COVERAGE GAP: some fault site "
-                                   "never fired)");
+                                   "or the value predictor never "
+                                   "fired)");
 
     bool ok = tally.completionFailures == 0 &&
               tally.stateMismatches == 0 && coverage_ok &&

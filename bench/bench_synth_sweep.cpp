@@ -37,6 +37,7 @@ namespace {
 
 struct Options {
     bool quick = false;
+    bool validate = false;
     unsigned threads = 0;
     unsigned partitions = 0;
     std::vector<std::string> machines = {"numa16", "mesh64", "cmp32"};
@@ -58,6 +59,8 @@ parseOptions(int argc, char **argv)
         const char *list = nullptr;
         if (std::strcmp(arg, "--quick") == 0) {
             opt.quick = true;
+        } else if (std::strcmp(arg, "--validate") == 0) {
+            opt.validate = true;
         } else if (std::strncmp(arg, "--machines=", 11) == 0) {
             list = arg + 11;
         } else if (std::strcmp(arg, "--machines") == 0 && i + 1 < argc) {
@@ -125,6 +128,30 @@ struct Inversion {
     double costDeltaKb = 0.0;
 };
 
+/**
+ * Table 2 chain edges whose costlier member is slower than the
+ * cheaper one by more than @p eps, deduplicated across chains.
+ */
+std::vector<std::pair<std::size_t, std::size_t>>
+invertedEdges(const std::vector<sim::SynthOutcome> &outcomes,
+              double eps)
+{
+    std::vector<std::pair<std::size_t, std::size_t>> seen, inverted;
+    for (const auto &chain : upgradeChains()) {
+        for (std::size_t k = 0; k + 1 < chain.size(); ++k) {
+            auto edge = std::make_pair(chain[k], chain[k + 1]);
+            if (std::find(seen.begin(), seen.end(), edge) !=
+                seen.end())
+                continue;
+            seen.push_back(edge);
+            if (outcomes[edge.second].speedup <
+                outcomes[edge.first].speedup * (1.0 - eps))
+                inverted.push_back(edge);
+        }
+    }
+    return inverted;
+}
+
 } // namespace
 
 int
@@ -164,6 +191,7 @@ main(int argc, char **argv)
     }
 
     std::vector<Inversion> inversions;
+    std::vector<std::string> rankingChanges;
     // Relative slowdown a costlier chain member must show before a
     // pair counts as inverted (filters timing noise-scale effects).
     const double kEps = 0.02;
@@ -241,6 +269,83 @@ main(int argc, char **argv)
         }
         std::printf("== %s ==\n%s\n", machine.name.c_str(),
                     table.render().c_str());
+
+        // --validate: rerun the grid with Predict+Validate and report
+        // per-point deltas plus every Table 2 chain edge whose
+        // inversion status flips under the validation axis.
+        if (opt.validate) {
+            std::vector<tls::SchemeConfig> vp_schemes;
+            for (const tls::SchemeConfig &s : schemes)
+                vp_schemes.push_back(s.withValidation(
+                    tls::Validation::PredictValidate));
+            std::vector<sim::SynthStudy> vp = sim::runSynthSweep(
+                specs, vp_schemes, machine, opt.threads, opt.faults,
+                opt.partitions);
+
+            TextTable vt({"Kind", "Scheme", "Speedup", "+VP",
+                          "Delta %", "Pred", "Mispred"});
+            for (std::size_t a = 0; a < studies.size(); ++a) {
+                for (std::size_t i = 0; i < schemes.size(); ++i) {
+                    const sim::SynthOutcome &base =
+                        studies[a].outcomes[i];
+                    const sim::SynthOutcome &pvo = vp[a].outcomes[i];
+                    double delta =
+                        100.0 * (pvo.speedup / base.speedup - 1.0);
+                    vt.addRow({
+                        i == 0 ? apps::synthKindName(
+                                     studies[a].spec.kind)
+                               : "",
+                        schemes[i].name(),
+                        TextTable::fmt(base.speedup, 2),
+                        TextTable::fmt(pvo.speedup, 2),
+                        TextTable::fmt(delta, 1),
+                        std::to_string(pvo.result.counters.get(
+                            "value_predictions")),
+                        std::to_string(pvo.result.counters.get(
+                            "value_mispredicts")),
+                    });
+                }
+                vt.addSeparator();
+
+                auto noneInv =
+                    invertedEdges(studies[a].outcomes, kEps);
+                auto vpInv = invertedEdges(vp[a].outcomes, kEps);
+                const char *kind =
+                    apps::synthKindName(studies[a].spec.kind);
+                for (const auto &e : noneInv) {
+                    if (std::find(vpInv.begin(), vpInv.end(), e) ==
+                        vpInv.end())
+                        rankingChanges.push_back(
+                            std::string(machine.name) + "/" + kind +
+                            ": validation repairs " +
+                            schemes[e.first].name() + " > " +
+                            schemes[e.second].name() + " (" +
+                            TextTable::fmt(
+                                vp[a].outcomes[e.first].speedup, 2) +
+                            "x vs " +
+                            TextTable::fmt(
+                                vp[a].outcomes[e.second].speedup, 2) +
+                            "x under +VP)");
+                }
+                for (const auto &e : vpInv) {
+                    if (std::find(noneInv.begin(), noneInv.end(),
+                                  e) == noneInv.end())
+                        rankingChanges.push_back(
+                            std::string(machine.name) + "/" + kind +
+                            ": validation introduces " +
+                            schemes[e.first].name() + " > " +
+                            schemes[e.second].name() + " (" +
+                            TextTable::fmt(
+                                vp[a].outcomes[e.first].speedup, 2) +
+                            "x vs " +
+                            TextTable::fmt(
+                                vp[a].outcomes[e.second].speedup, 2) +
+                            "x under +VP)");
+                }
+            }
+            std::printf("== %s: validation axis (+VP vs None) ==\n%s\n",
+                        machine.name.c_str(), vt.render().c_str());
+        }
     }
 
     std::printf("Ranking inversions vs the paper's Table 2 upgrade "
@@ -254,6 +359,17 @@ main(int argc, char **argv)
                     inv.cheaperSpeedup);
     if (inversions.empty())
         std::printf("  (none at this grid)\n");
+
+    if (opt.validate) {
+        std::printf("\nValidation ranking changes (Table 2 chain "
+                    "edges whose inversion status flips under "
+                    "Predict+Validate): %zu\n",
+                    rankingChanges.size());
+        for (const std::string &line : rankingChanges)
+            std::printf("  %s\n", line.c_str());
+        if (rankingChanges.empty())
+            std::printf("  (none at this grid)\n");
+    }
 
     return 0;
 }

@@ -21,7 +21,8 @@ main()
     std::printf("Table 1 — supports required by the buffering "
                 "approaches\n\n");
     TextTable t1({"Support", "Description"});
-    const char *names[] = {"CTID", "CRL", "MTID", "VCL", "ULOG"};
+    const char *names[] = {"CTID", "CRL",  "MTID",
+                           "VCL",  "ULOG", "VPRED"};
     int i = 0;
     for (Support s : allSupports())
         t1.addRow({names[i++], supportDescription(s)});

@@ -44,6 +44,7 @@ class LoopWorkload : public tls::Workload
     }
     std::unique_ptr<cpu::TaskTrace> makeTrace(TaskId task) override;
     bool isPrivAddr(Addr addr) const override;
+    std::uint64_t seed() const override { return params_.seed; }
 
     const AppParams &params() const { return params_; }
 

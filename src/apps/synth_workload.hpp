@@ -112,6 +112,7 @@ class SynthWorkload : public tls::Workload
     }
     std::unique_ptr<cpu::TaskTrace> makeTrace(TaskId task) override;
     bool isPrivAddr(Addr addr) const override;
+    std::uint64_t seed() const override { return spec_.seed; }
 
     const SynthSpec &spec() const { return spec_; }
 

@@ -31,6 +31,7 @@ constexpr const char *kKindNames[kNumKinds] = {
     "version_overflow", "undo_append",   "undo_drop",
     "undo_recover",  "noc_send",         "noc_deliver",
     "core_issue",    "core_retire",      "lsq_replay",
+    "value_predict", "value_validate",   "value_mispredict",
 };
 
 } // namespace
@@ -67,6 +68,8 @@ parseMask(std::string_view spec, std::uint32_t fallback)
             bit = kMaskNoc;
         else if (tok == "core")
             bit = kMaskCore;
+        else if (tok == "value")
+            bit = kMaskValue;
         else if (tok == "audit")
             bit = kMaskAudit;
         else if (tok == "all")
@@ -99,6 +102,8 @@ schemeLabel(std::uint8_t s)
     label += kMer[point % 3];
     if (s & 0x10)
         label += ".Sw";
+    if (s & 0x20)
+        label += "+VP";
     return label;
 }
 
@@ -623,6 +628,11 @@ struct StreamState {
     std::set<std::pair<std::uint32_t, std::uint32_t>> squashed;
     /** task -> undo-log entries appended and not yet dropped/drained. */
     std::unordered_map<std::uint32_t, std::uint64_t> undoPending;
+    /** predicted reads awaiting validation:
+     *  (task, incarnation, word) -> outstanding predictions. */
+    std::map<std::tuple<std::uint32_t, std::uint32_t, std::uint64_t>,
+             std::uint64_t>
+        valuePending;
     /** One OoO core's pipeline replay state (keyed by proc). */
     struct CoreExec {
         std::uint32_t epoch = 0;
@@ -640,7 +650,7 @@ constexpr std::size_t kMaxIssues = 64;
 
 struct Auditor {
     AuditReport &report;
-    bool haveTask, haveVersion, haveUndo, haveCore;
+    bool haveTask, haveVersion, haveUndo, haveCore, haveValue;
 
     void
     issue(const StreamState &s, const Record &r, std::string what)
@@ -851,6 +861,27 @@ struct Auditor {
                       " that is not an in-flight load");
             break;
         }
+        case Kind::ValuePredict:
+            check(s.squashed.count({r.task, r.arg}) == 0, s, r,
+                  "predicted read issued by an already-squashed "
+                  "incarnation");
+            s.valuePending[{r.task, r.arg, r.addr}] += 1;
+            break;
+        case Kind::ValueValidate:
+        case Kind::ValueMispredict: {
+            auto it = s.valuePending.find({r.task, r.arg, r.addr});
+            check(it != s.valuePending.end() && it->second > 0, s, r,
+                  std::string(k == Kind::ValueValidate
+                                  ? "validation"
+                                  : "misprediction") +
+                      " of a word that was never predicted by this "
+                      "incarnation");
+            if (it != s.valuePending.end() && it->second > 0) {
+                if (--it->second == 0)
+                    s.valuePending.erase(it);
+            }
+            break;
+        }
         }
     }
 
@@ -884,6 +915,24 @@ struct Auditor {
                 }
             }
         }
+        if (haveValue && haveTask) {
+            // Invariant 8: every predicted read is validated,
+            // mispredicted, or belongs to a squashed incarnation.
+            for (const auto &[key, pending] : s.valuePending) {
+                const auto &[task, inc, word] = key;
+                ++report.checks;
+                if (pending != 0 &&
+                    s.squashed.count({task, inc}) == 0 &&
+                    report.issues.size() < kMaxIssues) {
+                    std::ostringstream msg;
+                    msg << "[" << s.label << "] task " << task << " #"
+                        << inc << " word 0x" << std::hex << word
+                        << std::dec << ": " << pending
+                        << " predicted read(s) never validated";
+                    report.issues.push_back(msg.str());
+                }
+            }
+        }
     }
 };
 
@@ -905,7 +954,9 @@ audit(const TraceFile &file)
     bool haveVersion = (file.mask & kMaskVersion) == kMaskVersion;
     bool haveUndo = (file.mask & kMaskUndo) == kMaskUndo;
     bool haveCore = (file.mask & kMaskCore) == kMaskCore;
-    Auditor auditor{report, haveTask, haveVersion, haveUndo, haveCore};
+    bool haveValue = (file.mask & kMaskValue) == kMaskValue;
+    Auditor auditor{report,  haveTask, haveVersion,
+                    haveUndo, haveCore, haveValue};
 
     std::map<std::uint64_t, StreamState> streams;
     for (const Record &r : file.records) {
@@ -954,6 +1005,11 @@ audit(const TraceFile &file)
         case Kind::CoreRetire:
         case Kind::LsqReplay:
             gated = haveCore;
+            break;
+        case Kind::ValuePredict:
+        case Kind::ValueValidate:
+        case Kind::ValueMispredict:
+            gated = haveValue && haveTask;
             break;
         }
         if (gated)

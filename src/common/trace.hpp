@@ -70,9 +70,13 @@ enum class Kind : std::uint8_t {
     CoreIssue = 15,  ///< memory op entered the instruction window
     CoreRetire = 16, ///< memory op retired in program order
     LsqReplay = 17,  ///< in-flight load replayed after a remote store
+    // value prediction (PredictValidate schemes only)
+    ValuePredict = 18,   ///< read consumed a predicted value
+    ValueValidate = 19,  ///< logged prediction validated at commit
+    ValueMispredict = 20 ///< validation failed; consumer squashes
 };
 
-inline constexpr std::size_t kNumKinds = 18;
+inline constexpr std::size_t kNumKinds = 21;
 
 /** Stable lower-case name of a record kind (doc/table identity). */
 const char *kindName(Kind k);
@@ -104,6 +108,13 @@ inline constexpr std::uint32_t kMaskNoc =
 inline constexpr std::uint32_t kMaskCore =
     kindBit(Kind::CoreIssue) | kindBit(Kind::CoreRetire) |
     kindBit(Kind::LsqReplay);
+/** Value-prediction records (PredictValidate schemes). Opt-in like
+ * kMaskCore: excluded from kMaskAudit/kMaskAll so default traces (and
+ * their binary-header mask bytes) are unchanged for runs that never
+ * emit them. */
+inline constexpr std::uint32_t kMaskValue =
+    kindBit(Kind::ValuePredict) | kindBit(Kind::ValueValidate) |
+    kindBit(Kind::ValueMispredict);
 /** Everything the audit invariants consume (all but the NoC firehose). */
 inline constexpr std::uint32_t kMaskAudit =
     kMaskTask | kMaskVersion | kMaskUndo;
@@ -157,22 +168,34 @@ inline constexpr std::uint8_t kSchemeUnknown = 0xFF;
 
 /**
  * Pack a taxonomy point into the record's scheme byte:
- * low nibble = separation * 3 + merging (0..8), bit 4 = software log.
+ * low nibble = separation * 3 + merging (0..8), bit 4 = software log,
+ * bit 5 = PredictValidate value-validation policy.
  * @p separation and @p merging are the raw enum values of
  * tls::Separation / tls::Merging (this header cannot depend on tls/).
  */
 constexpr std::uint8_t
-packScheme(unsigned separation, unsigned merging, bool software_log)
+packScheme(unsigned separation, unsigned merging, bool software_log,
+           bool predicts_values = false)
 {
     return std::uint8_t((separation * 3 + merging) |
-                        (software_log ? 0x10 : 0));
+                        (software_log ? 0x10 : 0) |
+                        (predicts_values ? 0x20 : 0));
 }
 
-/** True if the packed scheme byte denotes an FMM merging scheme. */
+/** True if the packed scheme byte denotes an FMM merging scheme
+ *  (flag bits 0x10/0x20 are ignored; sentinels are not schemes). */
 constexpr bool
 schemeIsFmm(std::uint8_t s)
 {
-    return s < 0x20 && (s & 0x0F) % 3 == 2;
+    return (s & ~0x3Fu) == 0 && (s & 0x0F) <= 8 &&
+           (s & 0x0F) % 3 == 2;
+}
+
+/** True if the packed scheme byte carries the PredictValidate flag. */
+constexpr bool
+schemePredictsValues(std::uint8_t s)
+{
+    return (s & ~0x3Fu) == 0 && (s & 0x20) != 0;
 }
 
 /** Human-readable label, e.g. "MultiT&MV/FMM.Sw", "sequential". */

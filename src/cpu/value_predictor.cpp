@@ -1,0 +1,142 @@
+#include "cpu/value_predictor.hpp"
+
+namespace tlsim::cpu {
+
+namespace {
+
+/** splitmix64 finalizer over a fixed state (pure, no state advance). */
+std::uint64_t
+mix(std::uint64_t z)
+{
+    z += 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+} // namespace
+
+// --------------------------------------------------------------------
+// ValuePredictor
+// --------------------------------------------------------------------
+
+void
+ValuePredictor::configure(std::size_t entries, std::uint64_t seed)
+{
+    std::size_t n = 1;
+    while (n < entries)
+        n <<= 1;
+    table_.assign(n, Entry{});
+    mask_ = n - 1;
+    seed_ = seed;
+    lookups_ = predictions_ = trainings_ = 0;
+}
+
+std::size_t
+ValuePredictor::indexOf(Addr word) const
+{
+    return std::size_t(mix(seed_ ^ word)) & mask_;
+}
+
+bool
+ValuePredictor::predict(Addr word, TaskId *producer) const
+{
+    ++lookups_;
+    const Entry &e = table_[indexOf(word)];
+    if (e.conf < kPredictThreshold || e.word != word ||
+        e.producer == kNoTask)
+        return false;
+    ++predictions_;
+    *producer = e.producer;
+    return true;
+}
+
+void
+ValuePredictor::train(Addr word, TaskId producer)
+{
+    ++trainings_;
+    Entry &e = table_[indexOf(word)];
+    if (e.word == word && e.producer == producer) {
+        if (e.conf < kMaxConfidence)
+            ++e.conf;
+        return;
+    }
+    // New word in this slot, or a new producer for the same word:
+    // retrain at the prediction threshold so the corrected value is
+    // usable immediately (a squashed consumer's re-execution must be
+    // able to predict right and validate clean — no livelock).
+    e.word = word;
+    e.producer = producer;
+    e.conf = kPredictThreshold;
+}
+
+// --------------------------------------------------------------------
+// ValidationLog
+// --------------------------------------------------------------------
+
+std::vector<ValidationEntry> &
+ValidationLog::groupOf(TaskId task)
+{
+    auto [slot, inserted] = slotOf_.emplace(task, 0);
+    if (inserted) {
+        if (!freeSlots_.empty()) {
+            *slot = freeSlots_.back();
+            freeSlots_.pop_back();
+        } else {
+            *slot = std::uint32_t(slabs_.size());
+            slabs_.emplace_back();
+        }
+    }
+    return slabs_[*slot];
+}
+
+void
+ValidationLog::append(TaskId task, const ValidationEntry &entry)
+{
+    groupOf(task).push_back(entry);
+    ++liveEntries_;
+    ++appends_;
+    if (liveEntries_ > peak_)
+        peak_ = liveEntries_;
+}
+
+const std::vector<ValidationEntry> &
+ValidationLog::entriesOf(TaskId task) const
+{
+    static const std::vector<ValidationEntry> kEmpty;
+    const std::uint32_t *slot = slotOf_.find(task);
+    return slot != nullptr ? slabs_[*slot] : kEmpty;
+}
+
+std::size_t
+ValidationLog::countOf(TaskId task) const
+{
+    const std::uint32_t *slot = slotOf_.find(task);
+    return slot != nullptr ? slabs_[*slot].size() : 0;
+}
+
+void
+ValidationLog::dropTask(TaskId task)
+{
+    const std::uint32_t *slot = slotOf_.find(task);
+    if (slot == nullptr)
+        return;
+    std::uint32_t idx = *slot;
+    liveEntries_ -= slabs_[idx].size();
+    slabs_[idx].clear(); // keeps capacity for the recycled slot
+    freeSlots_.push_back(idx);
+    slotOf_.erase(task);
+}
+
+void
+ValidationLog::clear()
+{
+    slotOf_.clear();
+    slabs_.clear();
+    freeSlots_.clear();
+    liveEntries_ = 0;
+    peak_ = 0;
+    appends_ = 0;
+}
+
+} // namespace tlsim::cpu

@@ -113,6 +113,7 @@ foldScheme(KeyHasher &h, const tls::SchemeConfig &s)
     h.u64(std::uint64_t(s.separation));
     h.u64(std::uint64_t(s.merging));
     h.u64(s.softwareLog ? 1 : 0);
+    h.u64(std::uint64_t(s.validation));
 }
 
 /** Every MachineParams field is behavioral (homeOf reads kind and

@@ -47,7 +47,8 @@ bindTraceContext(const EngineConfig &cfg, const EventQueue &eq)
                 ? trace::kSchemeSequential
                 : trace::packScheme(unsigned(cfg.scheme.separation),
                                     unsigned(cfg.scheme.merging),
-                                    cfg.scheme.softwareLog));
+                                    cfg.scheme.softwareLog,
+                                    cfg.scheme.predictsValues()));
     }
 }
 
@@ -184,6 +185,17 @@ SpeculationEngine::SpeculationEngine(const EngineConfig &cfg,
         }
     }
 
+    // Predict+Validate: per-processor predictors, index hash seeded
+    // from the workload's point seed (derivePointSeed already folded
+    // the point identity, so replications get independent streams).
+    if (!cfg_.sequential && cfg_.scheme.predictsValues()) {
+        predictors_.resize(m.numProcs);
+        std::uint64_t state =
+            workload_.seed() ^ 0x76a7ed5ba11da7eULL;
+        for (ProcId p = 0; p < m.numProcs; ++p)
+            predictors_[p].configure(1024, splitmix64(state));
+    }
+
     uncommittedFinished_.assign(m.numProcs, 0);
     procInRecovery_.assign(m.numProcs, false);
     recoveryOutstanding_.assign(m.numProcs, 0);
@@ -232,6 +244,9 @@ SpeculationEngine::SpeculationEngine(const EngineConfig &cfg,
     sid_.tasksSquashed = counters_.intern("tasks_squashed");
     sid_.recoveryEntriesReplayed =
         counters_.intern("recovery_entries_replayed");
+    sid_.valuePredictions = counters_.intern("value_predictions");
+    sid_.valueValidations = counters_.intern("value_validations");
+    sid_.valueMispredicts = counters_.intern("value_mispredicts");
 
     bindTraceContext(cfg_, eq_);
 }
@@ -379,6 +394,16 @@ SpeculationEngine::maybeCommit()
     if (r.state != TaskState::Finished)
         return;
 
+    // Predict+Validate: the task's logged predictions are checked at
+    // commit-token acquisition, while every predecessor is already
+    // architectural. A misprediction squashes the task through the
+    // ordinary violation path (the token is never taken), so the
+    // recovery machinery is reused, not duplicated.
+    Cycle validateCost = 0;
+    if (cfg_.scheme.predictsValues() &&
+        !validatePredictions(nextCommit_, &validateCost))
+        return;
+
     commitInProgress_ = true;
     r.state = TaskState::Committing;
     r.commitStart = eq_.now();
@@ -389,7 +414,8 @@ SpeculationEngine::maybeCommit()
     if (cfg_.scheme.merging == Merging::EagerAMM) {
         Cycle finish = mergeTaskState(id, eq_.now());
         Cycle dur = std::max<Cycle>(finish - eq_.now(),
-                                    cfg_.machine.tokenPassCycles);
+                                    cfg_.machine.tokenPassCycles) +
+                    validateCost;
         if (cfg_.scheme.separation == Separation::SingleT) {
             // The processor itself performs the merge.
             cpu::CoreModel &core = *cores_[r.proc];
@@ -403,8 +429,9 @@ SpeculationEngine::maybeCommit()
             eq_.scheduleIn(dur, [this, id]() { finishCommit(id); });
         }
     } else {
-        // Lazy AMM and FMM: commit is just the token handoff.
-        eq_.scheduleIn(cfg_.machine.tokenPassCycles,
+        // Lazy AMM and FMM: commit is just the token handoff (plus
+        // the validation-log compare pipeline, when one ran).
+        eq_.scheduleIn(cfg_.machine.tokenPassCycles + validateCost,
                        [this, id]() { finishCommit(id); });
     }
 
@@ -415,6 +442,63 @@ SpeculationEngine::maybeCommit()
     if (faults_.active() && id < workload_.numTasks() &&
         faults_.commitTokenSquash())
         performSquash(id + 1, rec(id).proc);
+}
+
+bool
+SpeculationEngine::validatePredictions(TaskId id, Cycle *cost_out)
+{
+    const auto &entries = vlog_.entriesOf(id);
+    if (entries.empty()) {
+        *cost_out = 0;
+        return true;
+    }
+    TaskRecord &r = rec(id);
+    ProcId proc = r.proc;
+    const mem::MachineParams &m = cfg_.machine;
+
+    // Re-derive the producer each predicted word would observe now,
+    // with exactly the lookup the detector's read records use. The
+    // simulator carries no data bytes, so a word's value is modeled as
+    // a pure function of (word, producer): equal producers mean the
+    // predicted and architectural values compare equal.
+    for (const cpu::ValidationEntry &e : entries) {
+        // Validation entries store word indices; reconstruct the byte
+        // address before deriving line and word-bit coordinates.
+        Addr byteAddr = e.word * mem::kWordBytes;
+        Addr line = mem::lineAddr(byteAddr);
+        TaskId actual;
+        if (m.wordGranularityDetection) {
+            actual = versions_.latestWordWriter(
+                line, mem::wordBit(byteAddr), id);
+        } else {
+            VersionInfo *vv = versions_.latestVisible(line, id);
+            actual = vv ? vv->tag.producer : 0;
+        }
+        if (actual != e.predictedProducer) {
+            counters_.inc(sid_.valueMispredicts);
+            TLSIM_TRACE_EVENT(trace::Kind::ValueMispredict, proc, id,
+                              e.word, r.incarnation);
+            // Retrain with the corrected producer so the re-execution
+            // predicts it right (no validate/squash livelock).
+            predictors_[proc].train(e.word, actual);
+            performSquash(id, proc);
+            return false;
+        }
+    }
+
+    // All predictions hold: reinforce the predictor and discharge the
+    // log group. The compare pipeline walks the entries one per cycle
+    // pair (read the logged word, compare against memory state).
+    std::size_t n = entries.size();
+    for (const cpu::ValidationEntry &e : entries) {
+        counters_.inc(sid_.valueValidations);
+        TLSIM_TRACE_EVENT(trace::Kind::ValueValidate, proc, id, e.word,
+                          r.incarnation);
+        predictors_[proc].train(e.word, e.predictedProducer);
+    }
+    vlog_.dropTask(id);
+    *cost_out = Cycle(2 * n);
+    return true;
 }
 
 Cycle
@@ -790,6 +874,8 @@ SpeculationEngine::squashOne(TaskId id)
     }
 
     detector_.dropReader(id, r.readWords);
+    if (cfg_.scheme.predictsValues())
+        vlog_.dropTask(id);
     svWaiters_.erase(id);
     r.resetFootprint();
     r.state = TaskState::Pending;

@@ -20,6 +20,7 @@
 #include "common/stats.hpp"
 #include "cpu/core.hpp"
 #include "cpu/mem_if.hpp"
+#include "cpu/value_predictor.hpp"
 #include "mem/cache.hpp"
 #include "mem/machine_params.hpp"
 #include "mem/memory_banks.hpp"
@@ -143,6 +144,15 @@ class SpeculationEngine : public cpu::SpecMemoryIf,
     std::unique_ptr<mem::VersionedCache> l3_; // CMP shared
     std::vector<mem::OverflowArea> overflow_;
     std::vector<mem::UndoLog> logs_;
+    /**
+     * Predict+Validate state (empty/idle under validation=None): one
+     * value predictor per processor, seeded from the workload's point
+     * seed, plus the engine-wide per-task validation log. Both are
+     * mutated only under the ordered-PDES total event order, so every
+     * output is byte-identical at any thread/partition count.
+     */
+    std::vector<cpu::ValuePredictor> predictors_;
+    cpu::ValidationLog vlog_;
 
     // --- speculation state ---
     mem::MtidTable mtid_;
@@ -216,7 +226,8 @@ class SpeculationEngine : public cpu::SpecMemoryIf,
             versionsCreated, dispatches, commits, commitOverflowFetches,
             eagerWritebacks, barrierMergeCycles, invocations,
             finalMergeLines, squashEvents, tasksSquashed,
-            recoveryEntriesReplayed;
+            recoveryEntriesReplayed, valuePredictions,
+            valueValidations, valueMispredicts;
     };
     StatIds sid_;
     std::uint64_t squashEvents_ = 0;
@@ -243,6 +254,15 @@ class SpeculationEngine : public cpu::SpecMemoryIf,
     void tryDispatchAll();
 
     void maybeCommit();
+    /**
+     * Predict+Validate: compare the task's logged predictions against
+     * the now-architectural state at commit-token acquisition. On a
+     * misprediction the task (and its successors) squash through the
+     * ordinary violation path and false is returned; on success the
+     * log group is dropped, the predictor is trained, and the compare
+     * pipeline's cycles are returned via @p cost_out.
+     */
+    bool validatePredictions(TaskId id, Cycle *cost_out);
     void finishCommit(TaskId id);
     Cycle mergeTaskState(TaskId id, Cycle start);
     Cycle finalMergeProc(ProcId proc, Cycle start);

@@ -513,6 +513,31 @@ SpeculationEngine::loadForTask(ProcId proc, Addr addr, Cycle now,
         insertLineL1(proc, line, tag, now);
         counters_.inc(sid_.l2Hits);
     } else {
+        // Predict+Validate: a read whose visible version lives in a
+        // remote, uncommitted predecessor would pay a cross-machine
+        // fetch (and register with the detector, exposing the task to
+        // squash-and-rewrite churn). If the predictor has a confident
+        // value for the word, consume it at local-table speed instead:
+        // log the prediction for commit-time validation and skip the
+        // read record entirely — commit-time compare, not the
+        // detector, guards this consumption. Only the first read of a
+        // word by a task may predict (the validation log holds one
+        // entry per word); repeats fall through and fill the caches.
+        bool vp_eligible = cfg_.scheme.predictsValues() && v &&
+                           !v->committed && v->tag.producer != task &&
+                           v->cacheOwner != proc;
+        if (vp_eligible) {
+            TaskId predicted;
+            TaskRecord &pr = rec(task);
+            if (predictors_[proc].predict(word, &predicted) &&
+                pr.readWords.insert(word)) {
+            vlog_.append(task, {word, predicted});
+                counters_.inc(sid_.valuePredictions);
+                TLSIM_TRACE_EVENT(trace::Kind::ValuePredict, proc,
+                                  task, word, pr.incarnation);
+                return {m.latL1};
+            }
+        }
         Source src;
         lat = fetchLatency(proc, line, v, now, &src);
         // While speculative state has spilled, AMM misses must also
@@ -546,6 +571,17 @@ SpeculationEngine::loadForTask(ProcId proc, Addr addr, Cycle now,
             cl.version = tag;
             lat += insertLineL2(proc, cl, now, nullptr);
             insertLineL1(proc, line, tag, now);
+        }
+        // Train on the would-stall reads the predictor declined: the
+        // producer actually observed is the value a future predicted
+        // read of this word must reproduce.
+        if (vp_eligible) {
+            TaskId actual =
+                m.wordGranularityDetection
+                    ? versions_.latestWordWriter(
+                          line, mem::wordBit(addr), task)
+                    : v->tag.producer;
+            predictors_[proc].train(word, actual);
         }
     }
 

@@ -24,6 +24,16 @@ mergingName(Merging m)
     return "?";
 }
 
+const char *
+validationName(Validation v)
+{
+    switch (v) {
+      case Validation::None: return "None";
+      case Validation::PredictValidate: return "Predict+Validate";
+    }
+    return "?";
+}
+
 unsigned
 SupportSet::count() const
 {
@@ -51,6 +61,7 @@ SupportSet::toString() const
     add(kMTID, "MTID");
     add(kVCL, "VCL");
     add(kULOG, "ULOG");
+    add(kVPRED, "VPRED");
     return out;
 }
 
@@ -71,6 +82,9 @@ supportDescription(Support s)
         return "Logic for combining/invalidating committed versions";
       case kULOG:
         return "Logic and storage to support logging";
+      case kVPRED:
+        return "Value-prediction table plus per-task validation-log "
+               "buffer and compare logic";
     }
     return "?";
 }
@@ -79,7 +93,7 @@ const std::vector<Support> &
 allSupports()
 {
     static const std::vector<Support> kAll = {kCTID, kCRL, kMTID, kVCL,
-                                              kULOG};
+                                              kULOG, kVPRED};
     return kAll;
 }
 
@@ -92,6 +106,10 @@ SchemeConfig::name() const
         out += softwareLog ? "FMM.Sw" : "FMM";
     else
         out += mergingName(merging);
+    // The paper baseline stays bit-for-bit unchanged: only the new
+    // validation policy appends a suffix.
+    if (validation == Validation::PredictValidate)
+        out += " +VP";
     return out;
 }
 
@@ -115,6 +133,8 @@ SchemeConfig::requiredSupports() const
         if (!softwareLog)
             s = s.with(kULOG);
     }
+    if (validation == Validation::PredictValidate)
+        s = s.with(kVPRED);
     return s;
 }
 
@@ -154,6 +174,20 @@ bufferingCostKb(const SchemeConfig &scheme, const BufferSizing &sizing)
         double entry_bits = 64.0 * 8.0 + 2.0 * sizing.taskIdBits;
         bits += double(sizing.undoBufferEntries) * sizing.numProcs *
                 entry_bits;
+    }
+
+    // VPRED: a per-processor value-predictor table (64-bit last value
+    // + word tag + 2-bit confidence per entry) plus the validation-log
+    // write buffer (word address + predicted value per entry). The log
+    // body spills to cacheable memory like the MHB, so only the buffer
+    // is dedicated hardware.
+    if (s.has(kVPRED)) {
+        double table_bits = 64.0 + 64.0 + 2.0;
+        double vlog_bits = 64.0 + 64.0;
+        bits += double(sizing.predictorEntries) * sizing.numProcs *
+                table_bits;
+        bits += double(sizing.validationBufferEntries) *
+                sizing.numProcs * vlog_bits;
     }
 
     return bits / 8.0 / 1024.0;

@@ -28,8 +28,24 @@ enum class Merging : std::uint8_t {
     FMM       ///< merge any time (future main memory + history buffer)
 };
 
+/**
+ * Third axis: how a consumer task treats the *value* of a cross-task
+ * read (post-2003 extension; Prophet-style pre-computation/validation).
+ * `None` is the paper's baseline — every read waits for the producer's
+ * buffered version. `PredictValidate` lets a would-stall cross-task
+ * read consume a predicted value immediately, logs the prediction in a
+ * per-task validation log, and validates the whole log when the task
+ * acquires the commit token; a misprediction squashes the consumer
+ * through the ordinary violation/recovery path.
+ */
+enum class Validation : std::uint8_t {
+    None,           ///< paper baseline: reads stall on remote versions
+    PredictValidate ///< predict on would-stall reads, validate at commit
+};
+
 const char *separationName(Separation s);
 const char *mergingName(Merging m);
+const char *validationName(Validation v);
 
 /**
  * Hardware supports of Table 1 (bitmask values).
@@ -39,7 +55,8 @@ enum Support : std::uint8_t {
     kCRL = 1 << 1,  ///< Cache Retrieval Logic: version selection in cache
     kMTID = 1 << 2, ///< Memory Task ID: task-ID tags + compare in memory
     kVCL = 1 << 3,  ///< Version Combining Logic for committed versions
-    kULOG = 1 << 4  ///< hardware undo log (MHB storage + logic)
+    kULOG = 1 << 4, ///< hardware undo log (MHB storage + logic)
+    kVPRED = 1 << 5 ///< value-prediction table + validation-log buffer
 };
 
 /** A set of supports. */
@@ -68,7 +85,7 @@ class SupportSet
 /** Short description of one support (Table 1). */
 const char *supportDescription(Support s);
 
-/** All five supports, for iteration. */
+/** All supports, for iteration (Table 1 rows, in bit order). */
 const std::vector<Support> &allSupports();
 
 /**
@@ -80,6 +97,13 @@ struct SchemeConfig {
     Merging merging = Merging::EagerAMM;
     /** FMM only: maintain the MHB with plain instructions (FMM.Sw). */
     bool softwareLog = false;
+    /** Value-validation policy (third axis; None = paper baseline). */
+    Validation validation = Validation::None;
+
+    bool predictsValues() const
+    {
+        return validation == Validation::PredictValidate;
+    }
 
     bool isAmm() const { return merging != Merging::FMM; }
     bool multiTask() const { return separation != Separation::SingleT; }
@@ -109,9 +133,18 @@ struct SchemeConfig {
     static std::vector<SchemeConfig> evaluatedSchemes();
 
     static SchemeConfig
-    make(Separation s, Merging m, bool sw_log = false)
+    make(Separation s, Merging m, bool sw_log = false,
+         Validation v = Validation::None)
     {
-        return SchemeConfig{s, m, sw_log};
+        return SchemeConfig{s, m, sw_log, v};
+    }
+
+    /** This scheme with @p v as its validation policy. */
+    SchemeConfig withValidation(Validation v) const
+    {
+        SchemeConfig out = *this;
+        out.validation = v;
+        return out;
     }
 };
 
@@ -131,6 +164,11 @@ struct BufferSizing {
     std::size_t undoBufferEntries = 64;
     /** Task-ID tag width in bits (CTID/MTID tag cost per line). */
     unsigned taskIdBits = 12;
+    /** VPRED: value-predictor table entries per processor. */
+    std::size_t predictorEntries = 1024;
+    /** VPRED: validation-log write-buffer entries per processor (the
+     *  log itself spills to cacheable memory, like the MHB). */
+    std::size_t validationBufferEntries = 64;
 };
 
 /**

@@ -51,6 +51,13 @@ class Workload
         (void)addr;
         return false;
     }
+
+    /**
+     * The workload's point seed, used to seed per-processor seeded
+     * structures (the value predictor's index hash). Deterministic per
+     * point: derivePointSeed already folded the point identity in.
+     */
+    virtual std::uint64_t seed() const { return 0; }
 };
 
 } // namespace tlsim::tls

@@ -54,15 +54,75 @@ disjointTasks(int n, unsigned instrs = 2000)
 
 RunResult
 run(std::vector<std::vector<Op>> tasks, Separation sep, Merging merge,
-    bool sw = false, bool numa = true)
+    bool sw = false, bool numa = true,
+    Validation val = Validation::None)
 {
     ScriptedWorkload wl(std::move(tasks));
     EngineConfig cfg;
-    cfg.scheme = SchemeConfig::make(sep, merge, sw);
+    cfg.scheme = SchemeConfig::make(sep, merge, sw, val);
     cfg.machine = numa ? mem::MachineParams::numa16()
                        : mem::MachineParams::cmp8();
     SpeculationEngine engine(cfg, wl);
     return engine.run();
+}
+
+/**
+ * Stable producer under squash-and-rewrite churn: task 1's late write
+ * squashes task 2 (which early-read it), and task 2's re-execution
+ * rewrites the shared word X with the SAME producer id but a new
+ * incarnation tag — invalidating every consumer's cached replica.
+ * Consumers' first-round reads of X trained their processors'
+ * predictors with producer 2; the re-reads after the churn predict
+ * that producer, skip the read record, and validate cleanly at commit
+ * (the value of a word is a function of its producer alone).
+ */
+std::vector<std::vector<Op>>
+stableProducerTasks(int n)
+{
+    std::vector<std::vector<Op>> tasks;
+    std::vector<Op> trigger;
+    trigger.push_back(Op::compute(3000));
+    trigger.push_back(Op::store(0x7000'0100)); // D, late
+    tasks.push_back(std::move(trigger));
+    std::vector<Op> producer;
+    producer.push_back(Op::compute(50));
+    producer.push_back(Op::load(0x7000'0100)); // D, early: squashed
+    producer.push_back(Op::store(0x6000'0000)); // X
+    producer.push_back(Op::compute(30'000));
+    tasks.push_back(std::move(producer));
+    for (int t = 2; t < n; ++t) {
+        std::vector<Op> ops;
+        ops.push_back(Op::compute(400));
+        ops.push_back(Op::load(0x6000'0000));
+        ops.push_back(Op::compute(2000));
+        Addr base = 0x4000'0000 + Addr(t) * 4096;
+        for (int w = 0; w < 4; ++w)
+            ops.push_back(Op::store(base + w * 8));
+        tasks.push_back(std::move(ops));
+    }
+    return tasks;
+}
+
+/**
+ * Early-read / late-write chain over one shared word (the adversarial
+ * squash-storm shape): the word's producer migrates with every task,
+ * so predictions made from stale training mispredict and squash at
+ * commit-token acquisition.
+ */
+std::vector<std::vector<Op>>
+stormTasks(int n)
+{
+    std::vector<std::vector<Op>> tasks;
+    for (int t = 0; t < n; ++t) {
+        std::vector<Op> ops;
+        ops.push_back(Op::compute(50));
+        if (t > 0)
+            ops.push_back(Op::load(0x6000'0000));
+        ops.push_back(Op::compute(3000));
+        ops.push_back(Op::store(0x6000'0000));
+        tasks.push_back(std::move(ops));
+    }
+    return tasks;
 }
 
 } // namespace
@@ -212,6 +272,58 @@ TEST(SchemeBehavior, NoOverflowAreaMeansStallsOrWriteThrough)
                   res.counters.get("nonspec_writethroughs"),
               0u);
     EXPECT_EQ(res.counters.get("overflow_spills"), 0u);
+}
+
+TEST(SchemeBehavior, PredictValidatePredictsStableProducers)
+{
+    RunResult none = run(stableProducerTasks(64), Separation::MultiTMV,
+                         Merging::EagerAMM);
+    RunResult pv = run(stableProducerTasks(64), Separation::MultiTMV,
+                       Merging::EagerAMM, false, true,
+                       Validation::PredictValidate);
+    // The baseline never touches the prediction machinery.
+    EXPECT_EQ(none.counters.get("value_predictions"), 0u);
+    // A stable producer predicts and validates without a single
+    // misprediction.
+    EXPECT_GT(pv.counters.get("value_predictions"), 0u);
+    EXPECT_EQ(pv.counters.get("value_mispredicts"), 0u);
+    EXPECT_EQ(pv.counters.get("value_validations"),
+              pv.counters.get("value_predictions"));
+    // Prediction is time-only by construction: final memory state is
+    // identical to the unpredicted run.
+    EXPECT_EQ(pv.memStateHash, none.memStateHash);
+    EXPECT_EQ(pv.committedTasks, none.committedTasks);
+}
+
+TEST(SchemeBehavior, PredictValidateMispredictionSquashesAndRecovers)
+{
+    RunResult none = run(stormTasks(48), Separation::MultiTMV,
+                         Merging::EagerAMM);
+    RunResult pv = run(stormTasks(48), Separation::MultiTMV,
+                       Merging::EagerAMM, false, true,
+                       Validation::PredictValidate);
+    // Migrating producers mispredict; the squash flows through the
+    // ordinary violation path and the task re-executes to completion.
+    EXPECT_GT(pv.counters.get("value_predictions"), 0u);
+    EXPECT_GT(pv.counters.get("value_mispredicts"), 0u);
+    EXPECT_GT(pv.tasksSquashed, 0u);
+    EXPECT_EQ(pv.memStateHash, none.memStateHash);
+    EXPECT_EQ(pv.committedTasks, none.committedTasks);
+}
+
+TEST(SchemeBehavior, PredictValidateRunsOnEverySchemePoint)
+{
+    for (const SchemeConfig &scheme :
+         SchemeConfig::evaluatedSchemes()) {
+        SchemeConfig pv =
+            scheme.withValidation(Validation::PredictValidate);
+        ScriptedWorkload wl(stormTasks(24));
+        EngineConfig cfg;
+        cfg.scheme = pv;
+        cfg.machine = mem::MachineParams::numa16();
+        SpeculationEngine engine(cfg, wl);
+        EXPECT_EQ(engine.run().committedTasks, 24u) << pv.name();
+    }
 }
 
 TEST(SchemeBehavior, CmpMachineRunsEveryScheme)

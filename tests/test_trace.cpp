@@ -289,6 +289,68 @@ TEST_F(TraceTest, AuditCatchesUndrainedUndoLog)
         << report.summary();
 }
 
+TEST_F(TraceTest, AuditCatchesUnvalidatedPredictedRead)
+{
+    // Invariant 8: a predicted read that is neither validated nor
+    // discharged by a squash of its incarnation is a protocol hole —
+    // the task would have committed a guessed value unchecked.
+    RecordBuilder b;
+    b.add(trace::Kind::TaskSpawn, 1, 1);
+    b.add(trace::Kind::ValuePredict, 1, 1, 0x80);
+    b.add(trace::Kind::TaskFinish, 1, 1);
+    b.add(trace::Kind::TokenHandoff, 1, 1);
+    // Deliberately no ValueValidate/ValueMispredict before commit.
+    b.add(trace::Kind::TaskCommit, 1, 1);
+    trace::AuditReport report =
+        trace::audit(b.file(trace::kMaskAudit | trace::kMaskValue));
+    EXPECT_FALSE(report.ok());
+    EXPECT_NE(report.summary().find("never validated"),
+              std::string::npos)
+        << report.summary();
+}
+
+TEST_F(TraceTest, AuditAcceptsValidatedAndSquashedPredictions)
+{
+    RecordBuilder b;
+    // Task 1: predicted read validated cleanly at the token.
+    b.add(trace::Kind::TaskSpawn, 1, 1);
+    b.add(trace::Kind::ValuePredict, 1, 1, 0x80);
+    b.add(trace::Kind::ValueValidate, 1, 1, 0x80);
+    b.add(trace::Kind::TaskFinish, 1, 1);
+    b.add(trace::Kind::TokenHandoff, 1, 1);
+    b.add(trace::Kind::TaskCommit, 1, 1);
+    // Task 2: first incarnation mispredicts and squashes (its other
+    // predicted word is discharged by the squash), the re-execution
+    // predicts the corrected value and validates.
+    b.add(trace::Kind::TaskSpawn, 2, 1);
+    b.add(trace::Kind::ValuePredict, 2, 1, 0x90);
+    b.add(trace::Kind::ValuePredict, 2, 1, 0x98);
+    b.add(trace::Kind::ValueMispredict, 2, 1, 0x90);
+    b.add(trace::Kind::TaskSquash, 2, 1);
+    b.add(trace::Kind::TaskRestart, 2, 2);
+    b.add(trace::Kind::ValuePredict, 2, 2, 0x90);
+    b.add(trace::Kind::ValueValidate, 2, 2, 0x90);
+    b.add(trace::Kind::TaskFinish, 2, 2);
+    b.add(trace::Kind::TokenHandoff, 2, 1);
+    b.add(trace::Kind::TaskCommit, 2, 2);
+    trace::AuditReport report =
+        trace::audit(b.file(trace::kMaskAudit | trace::kMaskValue));
+    EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+TEST_F(TraceTest, AuditCatchesValidationOfUnpredictedWord)
+{
+    RecordBuilder b;
+    b.add(trace::Kind::TaskSpawn, 1, 1);
+    b.add(trace::Kind::ValueValidate, 1, 1, 0x80);
+    trace::AuditReport report =
+        trace::audit(b.file(trace::kMaskAudit | trace::kMaskValue));
+    EXPECT_FALSE(report.ok());
+    EXPECT_NE(report.summary().find("never predicted"),
+              std::string::npos)
+        << report.summary();
+}
+
 TEST_F(TraceTest, AuditCatchesCorruptionInRealTrace)
 {
     if (!trace::builtIn())

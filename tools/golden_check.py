@@ -1,0 +1,154 @@
+#!/usr/bin/env python3
+"""Golden-table ranking gate for the nightly full-fidelity CI tier.
+
+The figure benchmarks (`bench_fig9_numa`, `bench_fig10_amm_fmm`,
+`bench_fig11_cmp`) render deterministic tables; full-fidelity copies
+are committed under ``goldens/``. The nightly tier regenerates them
+and runs this script, which:
+
+* extracts a *ranking signature* per application group — the scheme
+  names ordered fastest-first by the ``Norm.time`` column — from both
+  the golden and the freshly generated table;
+* passes when every signature matches (numeric drift that does not
+  reorder schemes is reported but tolerated — absolute times move with
+  model refinements, rankings are the paper's claims);
+* fails when a ranking changed, **unless** ``EXPERIMENTS.md`` already
+  contains the new signature line verbatim. A ranking change must land
+  together with a note explaining it; refresh the golden in the same
+  change.
+
+Refreshing a golden after an intentional, documented change::
+
+    ./build/bench/bench_fig9_numa --threads "$(nproc)" > goldens/fig9.txt
+
+Use ``--print-signatures`` to get the exact lines to paste into the
+EXPERIMENTS.md note. Standard library only.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+
+def is_number(tok: str) -> bool:
+    try:
+        float(tok)
+        return True
+    except ValueError:
+        return False
+
+
+def parse_table(path: Path) -> dict[str, list[tuple[str, float]]]:
+    """Return {app: [(scheme, norm_time), ...]} in table row order."""
+    groups: dict[str, list[tuple[str, float]]] = {}
+    app = None
+    in_table = False
+    for line in path.read_text().splitlines():
+        if line.startswith("---"):
+            in_table = True
+            continue
+        if not in_table or not line.strip():
+            continue
+        toks = line.split()
+        if not line.startswith(" "):
+            # New application group: first token is the app name.
+            app, toks = toks[0], toks[1:]
+        if app is None:
+            continue
+        # Scheme names contain spaces ("MultiT&MV Lazy AMM +VP"); the
+        # scheme is everything up to the first numeric column.
+        scheme: list[str] = []
+        norm = None
+        for tok in toks:
+            if is_number(tok):
+                norm = float(tok)
+                break
+            scheme.append(tok)
+        if norm is None or not scheme:
+            continue
+        groups.setdefault(app, []).append((" ".join(scheme), norm))
+    return groups
+
+
+def signature(fig: str, app: str,
+              rows: list[tuple[str, float]]) -> str:
+    """Fastest-first ranking line, stable on ties by table order."""
+    ranked = sorted(rows, key=lambda r: r[1])
+    return f"{fig}/{app}: " + " > ".join(s for s, _ in ranked)
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--fig", required=True,
+                    help="figure label used in signatures, e.g. fig9")
+    ap.add_argument("--golden", required=True, type=Path)
+    ap.add_argument("--current", required=True, type=Path)
+    ap.add_argument("--experiments", type=Path,
+                    default=Path("EXPERIMENTS.md"),
+                    help="file that must mention new rankings")
+    ap.add_argument("--print-signatures", action="store_true",
+                    help="print the current table's signatures and exit")
+    args = ap.parse_args()
+
+    current = parse_table(args.current)
+    if not current:
+        raise SystemExit(f"{args.current}: no table rows parsed")
+    if args.print_signatures:
+        for app, rows in current.items():
+            print(signature(args.fig, app, rows))
+        return 0
+
+    golden = parse_table(args.golden)
+    if not golden:
+        raise SystemExit(f"{args.golden}: no table rows parsed")
+
+    experiments = (
+        args.experiments.read_text()
+        if args.experiments.exists() else ""
+    )
+    changed: list[str] = []
+    undocumented: list[str] = []
+    for app, rows in current.items():
+        cur_sig = signature(args.fig, app, rows)
+        if app not in golden:
+            print(f"new group (no golden): {cur_sig}")
+            continue
+        gold_sig = signature(args.fig, app, golden[app])
+        if cur_sig == gold_sig:
+            continue
+        changed.append(app)
+        print(f"ranking change in {args.fig}/{app}:")
+        print(f"  golden : {gold_sig}")
+        print(f"  current: {cur_sig}")
+        if cur_sig not in experiments:
+            undocumented.append(cur_sig)
+    for app in golden:
+        if app not in current:
+            print(f"warning: group {args.fig}/{app} vanished from "
+                  f"{args.current}", file=sys.stderr)
+
+    if undocumented:
+        print(
+            f"\nFAIL: {len(undocumented)} ranking change(s) in "
+            f"{args.fig} are not documented in {args.experiments}. "
+            "Add the new signature line(s) below to an EXPERIMENTS.md "
+            "note explaining the change, and refresh "
+            f"{args.golden}:", file=sys.stderr)
+        for sig in undocumented:
+            print(f"  {sig}", file=sys.stderr)
+        return 1
+    if changed:
+        print(f"\nOK: {len(changed)} ranking change(s), all documented "
+              f"in {args.experiments} — refresh {args.golden} if you "
+              "have not already")
+    else:
+        drift = (args.golden.read_text() != args.current.read_text())
+        print(f"OK: all {len(current)} {args.fig} rankings match golden"
+              + (" (numeric drift only)" if drift else ""))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

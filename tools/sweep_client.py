@@ -150,6 +150,12 @@ def main() -> int:
         action="store_true",
         help="print raw response lines instead of tables",
     )
+    ap.add_argument(
+        "--expect-warm",
+        action="store_true",
+        help="fail unless the final repeat is answered entirely from "
+        "the result store (0 misses, every point cached)",
+    )
     args = ap.parse_args()
 
     if not args.apps and not args.synth:
@@ -190,6 +196,20 @@ def main() -> int:
                 sys.stdout.write(f"--- {resp.get('id', '?')} ---\n")
             sys.stdout.write(render(resp))
         failed = failed or not resp.get("ok")
+    if args.expect_warm and not failed:
+        last = responses[-1]
+        stats = last.get("stats", {})
+        uncached = [
+            p["workload"]
+            for p in last.get("points", []) + last.get("baselines", [])
+            if not p.get("cached")
+        ]
+        if stats.get("misses", 0) != 0 or stats.get("hits", 0) == 0 or uncached:
+            sys.stderr.write(
+                "expect-warm failed: final repeat was not fully "
+                f"cache-served (stats={stats}, uncached={uncached})\n"
+            )
+            failed = True
     return 1 if failed else 0
 
 

@@ -49,7 +49,7 @@ UPGRADE_CHAINS = [
 EPSILON = 0.02
 
 
-def run_bench(bench: Path, args: list[str]) -> str:
+def run_bench(bench: Path, args: list[str], forward: bool = False) -> str:
     """Run bench_synth_sweep, return its CSV text (via a temp file)."""
     import tempfile
 
@@ -60,6 +60,12 @@ def run_bench(bench: Path, args: list[str]) -> str:
     if proc.returncode != 0:
         sys.stderr.write(proc.stderr)
         raise SystemExit(f"{bench} exited {proc.returncode}")
+    if forward:
+        # Pass-through flags (e.g. --validate) make the bench print
+        # reports this frontend does not re-derive from the CSV — the
+        # +VP comparison tables and the ranking-change summary — so
+        # surface its stdout instead of swallowing it.
+        sys.stdout.write(proc.stdout)
     text = Path(csv_path).read_text(encoding="utf-8")
     Path(csv_path).unlink()
     return text
@@ -199,6 +205,13 @@ def main() -> int:
         action="store_true",
         help="exit 1 unless at least one ranking inversion is found",
     )
+    ap.add_argument(
+        "--extra-arg",
+        action="append",
+        default=[],
+        help="extra flag passed through to the bench (repeatable), "
+        "e.g. --extra-arg=--validate",
+    )
     args = ap.parse_args()
 
     if args.csv_in is not None:
@@ -213,7 +226,9 @@ def main() -> int:
             bench_args.append(f"--threads={args.threads}")
         if args.machines:
             bench_args.append(f"--machines={args.machines}")
-        text = run_bench(args.bench, bench_args)
+        bench_args.extend(args.extra_arg)
+        text = run_bench(args.bench, bench_args,
+                         forward=bool(args.extra_arg))
 
     if args.csv_out is not None:
         args.csv_out.write_text(text, encoding="utf-8")
